@@ -1,0 +1,106 @@
+// Extension bench (not a paper table): the section 5 "extended reachability
+// analysis" machinery applied to deadlock checking -- the problem whose
+// unfolding+LP treatment ([8], Melzer/Roemer [14]) the paper credits as the
+// motivation for its approach.  Compares the prefix-based deadlock check
+// (one linear constraint per transition over Unf-compatible vectors)
+// against explicit state-space search, on live models and on deadlocking
+// variants.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/extended_checks.hpp"
+#include "petri/reachability.hpp"
+#include "stg/benchmarks.hpp"
+#include "stg/builder.hpp"
+#include "unfolding/unfolder.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace stgcc;
+
+namespace {
+
+/// n parallel one-shot handshakes: the unique global deadlock sits at the
+/// very "end" of a 4^n-ish state space, while the prefix stays linear.
+stg::Stg par_with_deadlock(int n) {
+    stg::StgBuilder b("par-dead-" + std::to_string(n));
+    auto idx = [](const char* s, int i) { return std::string(s) + std::to_string(i); };
+    for (int i = 1; i <= n; ++i) {
+        b.input(idx("r", i)).output(idx("a", i));
+        b.place(idx("go", i), 1);
+        b.place(idx("stop", i));
+        b.arc(idx("go", i), idx("r", i) + "+");
+        b.arc(idx("r", i) + "+", idx("a", i) + "+");
+        b.arc(idx("a", i) + "+", idx("r", i) + "-");
+        b.arc(idx("r", i) + "-", idx("a", i) + "-");
+        b.arc(idx("a", i) + "-", idx("stop", i));
+    }
+    return b.build();
+}
+
+void table() {
+    std::printf("Deadlock checking: prefix + linear constraints (section 5) "
+                "vs explicit states\n\n");
+    std::printf("  %-14s | %9s | %5s | %9s %9s | %s\n", "model", "states", "E",
+                "sg-time", "ip-time", "verdict");
+    benchutil::rule(72);
+    std::vector<std::pair<std::string, stg::Stg>> models;
+    models.emplace_back("VME", stg::bench::vme_bus());
+    models.emplace_back("RING", stg::bench::token_ring(4));
+    models.emplace_back("MULLER-10", stg::bench::muller_pipeline(10));
+    models.emplace_back("PAR-8", stg::bench::parallel_handshakes(8));
+    models.emplace_back("PAR-DEAD-4", par_with_deadlock(4));
+    models.emplace_back("PAR-DEAD-8", par_with_deadlock(8));
+    for (const auto& [name, model] : models) {
+        Stopwatch sgt;
+        auto sg = benchutil::try_state_graph(model);
+        const bool sg_dead = sg && !sg->graph().deadlocks().empty();
+        const double sg_s = sgt.seconds();
+
+        Stopwatch ipt;
+        auto prefix = unf::unfold(model.system());
+        core::CodingProblem problem(model, prefix);
+        auto r = core::check_deadlock(problem);
+        const double ip_s = ipt.seconds();
+        if (sg && sg_dead != r.found) {
+            std::fprintf(stderr, "DISAGREEMENT on %s\n", name.c_str());
+            std::exit(1);
+        }
+        std::printf("  %-14s | %9zu | %5zu | %9s %9s | %s\n", name.c_str(),
+                    sg ? sg->num_states() : 0, prefix.num_events(),
+                    benchutil::fmt_time(sg_s).c_str(),
+                    benchutil::fmt_time(ip_s).c_str(),
+                    r.found ? "DEADLOCK" : "live");
+    }
+    benchutil::rule(72);
+    std::printf("\n");
+}
+
+void BM_DeadlockIp(benchmark::State& state) {
+    auto model = stg::bench::parallel_handshakes(static_cast<int>(state.range(0)));
+    auto prefix = unf::unfold(model.system());
+    core::CodingProblem problem(model, prefix);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::check_deadlock(problem).found);
+}
+BENCHMARK(BM_DeadlockIp)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_DeadlockSg(benchmark::State& state) {
+    auto model = stg::bench::parallel_handshakes(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        petri::ReachabilityGraph rg(model.system());
+        benchmark::DoNotOptimize(rg.deadlocks().empty());
+    }
+}
+BENCHMARK(BM_DeadlockSg)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    table();
+    std::fflush(stdout);  // keep table output ordered before gbench
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

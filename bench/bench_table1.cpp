@@ -1,0 +1,122 @@
+// Reproduces Table 1 of the paper: for each real-life STG, the sizes of the
+// net (|S|, |T|, |Z|) and of its complete unfolding prefix (|B|, |E|, |Ec|),
+// and the runtimes of the state-based checker ("Pfy" column: a Petrify-style
+// exhaustive state-space method) versus the unfolding + integer-programming
+// checker ("CLP" column: this library's CompatSolver).
+//
+// The paper's shape to reproduce: prefixes stay close to the STG size;
+// conflict-carrying rows (top half) are solved very quickly by the IP
+// method because it stops at the first conflict; conflict-free rows
+// (bottom half, the *-CSC specifications) require exhausting the search
+// space and are the harder case; memory stays O(|E|) against the state
+// count of the baseline.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/checkers.hpp"
+#include "stg/benchmarks.hpp"
+#include "stg/state_checks.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace stgcc;
+
+namespace {
+
+struct Row {
+    std::string name;
+    std::size_t S, T, Z, B, E, Ec, states;
+    double state_based_s, ip_s;
+    bool conflict;
+    std::size_t nodes;
+};
+
+Row run_row(const stg::bench::NamedBenchmark& nb) {
+    Row row;
+    row.name = nb.name;
+    row.S = nb.stg.net().num_places();
+    row.T = nb.stg.net().num_transitions();
+    row.Z = nb.stg.num_signals();
+
+    // State-based (Petrify-style) pass: build the full state graph, then
+    // check USC and CSC on it.
+    Stopwatch sb;
+    auto sg = benchutil::try_state_graph(nb.stg);
+    if (sg) {
+        (void)stg::check_usc_sg(*sg);
+        (void)stg::check_csc_sg(*sg);
+        row.states = sg->num_states();
+    } else {
+        row.states = 0;
+    }
+    row.state_based_s = sb.seconds();
+
+    // Unfolding + IP pass: build the prefix, then run the CompatSolver.
+    Stopwatch ip;
+    core::UnfoldingChecker checker(nb.stg);
+    auto usc = checker.check_usc();
+    auto csc = checker.check_csc();
+    row.ip_s = ip.seconds();
+    row.B = checker.prefix().num_conditions();
+    row.E = checker.prefix().num_events();
+    row.Ec = checker.prefix().num_cutoffs();
+    row.conflict = !csc.holds || !usc.holds;
+    row.nodes = usc.stats.search_nodes + csc.stats.search_nodes;
+    return row;
+}
+
+void print_table() {
+    std::printf("Table 1: coding-conflict detection on the benchmark suite\n");
+    std::printf("('Pfy' = state-based baseline incl. state-graph construction; "
+                "'CLP' = unfolding+IP incl. prefix construction)\n\n");
+    std::printf("%-16s %4s %4s %3s | %5s %5s %4s | %8s | %9s %9s | %-9s %8s\n",
+                "Problem", "S", "T", "Z", "B", "E", "Ec", "states", "Pfy",
+                "CLP", "verdict", "nodes");
+    benchutil::rule(108);
+    for (const auto& nb : stg::bench::table1_suite()) {
+        Row r = run_row(nb);
+        std::printf("%-16s %4zu %4zu %3zu | %5zu %5zu %4zu | %8zu | %9s %9s | "
+                    "%-9s %8zu\n",
+                    r.name.c_str(), r.S, r.T, r.Z, r.B, r.E, r.Ec, r.states,
+                    benchutil::fmt_time(r.state_based_s).c_str(),
+                    benchutil::fmt_time(r.ip_s).c_str(),
+                    r.conflict ? "conflict" : "CSC-free", r.nodes);
+    }
+    benchutil::rule(108);
+    std::printf("\n");
+}
+
+void BM_StateBased(benchmark::State& state, stg::Stg model) {
+    for (auto _ : state) {
+        auto sg = benchutil::try_state_graph(model);
+        if (sg) {
+            benchmark::DoNotOptimize(stg::check_usc_sg(*sg).holds);
+            benchmark::DoNotOptimize(stg::check_csc_sg(*sg).holds);
+        }
+    }
+}
+
+void BM_UnfoldingIp(benchmark::State& state, stg::Stg model) {
+    for (auto _ : state) {
+        core::UnfoldingChecker checker(model);
+        benchmark::DoNotOptimize(checker.check_usc().holds);
+        benchmark::DoNotOptimize(checker.check_csc().holds);
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_table();
+    for (const auto& nb : stg::bench::table1_suite()) {
+        benchmark::RegisterBenchmark(("state_based/" + nb.name).c_str(),
+                                     BM_StateBased, nb.stg);
+        benchmark::RegisterBenchmark(("unfolding_ip/" + nb.name).c_str(),
+                                     BM_UnfoldingIp, nb.stg);
+    }
+    std::fflush(stdout);  // keep table output ordered before gbench
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

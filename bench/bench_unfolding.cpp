@@ -1,0 +1,138 @@
+// Benchmarks the complete-prefix construction itself (the ERV algorithm
+// with the total adequate order): prefix sizes against net sizes on the
+// Table 1 suite, and construction throughput on the scalable families.
+// The paper's observation to reproduce: "in all cases the size of the
+// complete prefix was relatively small ... STGs usually contain a lot of
+// concurrency but rather few conflicts, and thus the prefixes are not much
+// bigger than the STGs themselves."
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stg/benchmarks.hpp"
+#include "unfolding/unfolder.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace stgcc;
+
+namespace {
+
+void size_table() {
+    std::printf("Prefix sizes on the Table 1 suite (|E| vs |T|: the paper's "
+                "'prefixes are\nnot much bigger than the STGs themselves'):\n\n");
+    std::printf("  %-16s | %4s %4s | %5s %5s %4s | %6s | %9s\n", "model", "S",
+                "T", "B", "E", "Ec", "E/T", "time");
+    benchutil::rule(72);
+    for (const auto& nb : stg::bench::table1_suite()) {
+        Stopwatch t;
+        auto prefix = unf::unfold(nb.stg.system());
+        std::printf("  %-16s | %4zu %4zu | %5zu %5zu %4zu | %6.2f | %9s\n",
+                    nb.name.c_str(), nb.stg.net().num_places(),
+                    nb.stg.net().num_transitions(), prefix.num_conditions(),
+                    prefix.num_events(), prefix.num_cutoffs(),
+                    static_cast<double>(prefix.num_events()) /
+                        static_cast<double>(nb.stg.net().num_transitions()),
+                    benchutil::fmt_time(t.seconds()).c_str());
+    }
+    benchutil::rule(72);
+    std::printf("\n");
+}
+
+/// The textbook McMillan-blowup gadget: a chain of n reconverging choice
+/// diamonds p_i -> (u_i | v_i) -> p_{i+1}.  After each diamond the two
+/// branches rejoin on the same marking with equal configuration sizes, so
+/// McMillan's strict-size criterion cuts neither branch and the prefix
+/// doubles per stage, while the ERV total order keeps one event per
+/// marking.
+petri::NetSystem choice_chain(int n) {
+    petri::Net net;
+    std::vector<petri::PlaceId> p;
+    for (int i = 0; i <= n; ++i)
+        p.push_back(net.add_place("p" + std::to_string(i)));
+    for (int i = 0; i < n; ++i) {
+        const auto u = net.add_transition("u" + std::to_string(i));
+        const auto v = net.add_transition("v" + std::to_string(i));
+        net.add_arc_pt(p[i], u);
+        net.add_arc_pt(p[i], v);
+        net.add_arc_tp(u, p[i + 1]);
+        net.add_arc_tp(v, p[i + 1]);
+    }
+    petri::Marking m0(net.num_places());
+    m0.set(p[0], 1);
+    return petri::NetSystem(std::move(net), std::move(m0));
+}
+
+void order_comparison() {
+    std::printf("Adequate-order ablation: ERV total order vs McMillan size "
+                "order (prefix events):\n\n");
+    std::printf("  %-16s | %8s | %10s | %s\n", "model", "ERV |E|",
+                "McMillan", "ratio");
+    benchutil::rule(56);
+    std::vector<std::pair<std::string, stg::Stg>> models;
+    models.emplace_back("VME", stg::bench::vme_bus());
+    models.emplace_back("LAZYRING", stg::bench::token_ring(2));
+    models.emplace_back("RING", stg::bench::token_ring(4));
+    models.emplace_back("PAR-6", stg::bench::parallel_handshakes(6));
+    models.emplace_back("MULLER-8", stg::bench::muller_pipeline(8));
+    models.emplace_back("CF-SYM-C", stg::bench::counterflow(4, true));
+    for (const auto& [name, model] : models) {
+        unf::UnfoldOptions erv, mcm;
+        mcm.order = unf::AdequateOrder::McMillanSize;
+        const std::size_t e1 = unf::unfold(model.system(), erv).num_events();
+        const std::size_t e2 = unf::unfold(model.system(), mcm).num_events();
+        std::printf("  %-16s | %8zu | %10zu | %.2fx\n", name.c_str(), e1, e2,
+                    static_cast<double>(e2) / static_cast<double>(e1));
+    }
+    for (int n : {4, 8, 12}) {
+        auto sys = choice_chain(n);
+        unf::UnfoldOptions erv, mcm;
+        mcm.order = unf::AdequateOrder::McMillanSize;
+        const std::size_t e1 = unf::unfold(sys, erv).num_events();
+        const std::size_t e2 = unf::unfold(sys, mcm).num_events();
+        std::printf("  CHOICE-CHAIN-%-3d | %8zu | %10zu | %.2fx\n", n, e1, e2,
+                    static_cast<double>(e2) / static_cast<double>(e1));
+    }
+    benchutil::rule(56);
+    std::printf("\n");
+}
+
+void BM_UnfoldTable1(benchmark::State& state, stg::Stg model) {
+    for (auto _ : state)
+        benchmark::DoNotOptimize(unf::unfold(model.system()).num_events());
+}
+
+void BM_UnfoldPar(benchmark::State& state) {
+    auto model = stg::bench::parallel_handshakes(static_cast<int>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(unf::unfold(model.system()).num_events());
+}
+BENCHMARK(BM_UnfoldPar)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_UnfoldMuller(benchmark::State& state) {
+    auto model = stg::bench::muller_pipeline(static_cast<int>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(unf::unfold(model.system()).num_events());
+}
+BENCHMARK(BM_UnfoldMuller)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_UnfoldRing(benchmark::State& state) {
+    auto model = stg::bench::token_ring(static_cast<int>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(unf::unfold(model.system()).num_events());
+}
+BENCHMARK(BM_UnfoldRing)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    size_table();
+    order_comparison();
+    for (const auto& nb : stg::bench::table1_suite())
+        benchmark::RegisterBenchmark(("unfold/" + nb.name).c_str(),
+                                     BM_UnfoldTable1, nb.stg);
+    std::fflush(stdout);  // keep table output ordered before gbench
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

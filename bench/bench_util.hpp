@@ -1,0 +1,43 @@
+// stgcc benches -- shared helpers: fixed-width table printing and guarded
+// state-graph construction (large instances report "blow-up" instead of
+// hanging the harness).
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "petri/reachability.hpp"
+#include "stg/state_graph.hpp"
+
+namespace stgcc::benchutil {
+
+inline void rule(int width = 100) {
+    for (int i = 0; i < width; ++i) std::putchar('-');
+    std::putchar('\n');
+}
+
+/// Build the state graph unless it exceeds `max_states`; nullopt = blow-up.
+inline std::optional<stg::StateGraph> try_state_graph(
+    const stg::Stg& model, std::size_t max_states = 5'000'000) {
+    petri::ReachOptions opts;
+    opts.max_states = max_states;
+    try {
+        return stg::StateGraph(model, opts);
+    } catch (const ModelError&) {
+        return std::nullopt;
+    }
+}
+
+inline std::string fmt_time(double seconds) {
+    char buf[32];
+    if (seconds < 1e-3)
+        std::snprintf(buf, sizeof buf, "%.0fus", seconds * 1e6);
+    else if (seconds < 1.0)
+        std::snprintf(buf, sizeof buf, "%.2fms", seconds * 1e3);
+    else
+        std::snprintf(buf, sizeof buf, "%.2fs", seconds);
+    return buf;
+}
+
+}  // namespace stgcc::benchutil

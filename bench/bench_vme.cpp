@@ -1,0 +1,97 @@
+// Reproduces Fig. 1 and Fig. 2 of the paper on the VME bus controller:
+//   * Fig. 1(b): the CSC conflict between two states coded 10110 with
+//     Out = {d} vs Out = {lds};
+//   * Fig. 2: the unfolding prefix (12 events, 1 cut-off) and the two
+//     conflicting configurations / Parikh vectors.
+// The assertions below fail loudly if the reproduction drifts.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/checkers.hpp"
+#include "core/verifier.hpp"
+#include "stg/benchmarks.hpp"
+#include "unfolding/configuration.hpp"
+
+using namespace stgcc;
+
+namespace {
+
+void check(bool cond, const char* what) {
+    if (!cond) {
+        std::fprintf(stderr, "REPRODUCTION FAILURE: %s\n", what);
+        std::exit(1);
+    }
+}
+
+void reproduce_figures() {
+    auto model = stg::bench::vme_bus();
+    core::UnfoldingChecker checker(model);
+    const auto& prefix = checker.prefix();
+
+    std::printf("Fig. 2 -- unfolding prefix of the VME bus controller:\n");
+    std::printf("  |B| = %zu conditions, |E| = %zu events, |Ec| = %zu cut-off\n",
+                prefix.num_conditions(), prefix.num_events(),
+                prefix.num_cutoffs());
+    check(prefix.num_events() == 12 && prefix.num_cutoffs() == 1,
+          "prefix must have 12 events with 1 cut-off (paper Fig. 2)");
+
+    auto csc = checker.check_csc();
+    check(!csc.holds, "VME must have a CSC conflict (paper Fig. 1b)");
+    const auto& w = *csc.witness;
+
+    // The paper prints the code in the order dsr, dtack, lds, ldtack, d.
+    auto paper_code = [&](const stg::Code& code) {
+        std::string s;
+        for (const char* name : {"dsr", "dtack", "lds", "ldtack", "d"})
+            s += code.test(model.find_signal(name)) ? '1' : '0';
+        return s;
+    };
+    std::printf("\nFig. 1(b) -- CSC conflict:\n");
+    std::printf("  shared code (paper order dsr,dtack,lds,ldtack,d): %s\n",
+                paper_code(w.code).c_str());
+    std::printf("  C'  (x'):  %s\n", model.sequence_text(w.trace1).c_str());
+    std::printf("  C'' (x''): %s\n", model.sequence_text(w.trace2).c_str());
+    check(paper_code(w.code) == "10110", "conflict code must be 10110");
+    check(w.out1.count() == 1 && w.out2.count() == 1,
+          "both Out sets are singletons ({d} vs {lds})");
+    std::printf("  Out(M')  = {%s}, Out(M'') = {%s}\n",
+                model.signal_name(static_cast<stg::SignalId>(w.out1.find_first()))
+                    .c_str(),
+                model.signal_name(static_cast<stg::SignalId>(w.out2.find_first()))
+                    .c_str());
+    std::printf("\nFig. 1/2 reproduced OK.\n\n");
+}
+
+void BM_VmeUnfold(benchmark::State& state) {
+    auto model = stg::bench::vme_bus();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(unf::unfold(model.system()).num_events());
+}
+BENCHMARK(BM_VmeUnfold);
+
+void BM_VmeCscCheck(benchmark::State& state) {
+    auto model = stg::bench::vme_bus();
+    core::UnfoldingChecker checker(model);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(checker.check_csc().holds);
+}
+BENCHMARK(BM_VmeCscCheck);
+
+void BM_VmeFullVerify(benchmark::State& state) {
+    auto model = stg::bench::vme_bus();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::verify_stg(model).csc.holds);
+}
+BENCHMARK(BM_VmeFullVerify);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    reproduce_figures();
+    std::fflush(stdout);  // keep table output ordered before gbench
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,62 @@
+// Scenario: token-ring adapter analysis (the LAZYRING / RING circuit class).
+//
+// A token circulates between stations; each station either serves a local
+// request or passes the token on.  The token position is invisible in the
+// signal code -- the classic source of coding conflicts in ring adapters.
+// This example shows how the conflict manifests, how the prefix stays small
+// while the ring grows, and how the witness explains the bug to a designer.
+//
+//   ./ring_adapter [stations]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/resolver.hpp"
+#include "core/verifier.hpp"
+#include "stg/benchmarks.hpp"
+#include "stg/state_graph.hpp"
+
+int main(int argc, char** argv) {
+    using namespace stgcc;
+    const int max_stations = argc > 1 ? std::atoi(argv[1]) : 4;
+
+    for (int stations = 1; stations <= max_stations; ++stations) {
+        stg::Stg model = stg::bench::token_ring(stations);
+        core::UnfoldingChecker checker(model);
+        stg::StateGraph sg(model);
+
+        auto usc = checker.check_usc();
+        auto csc = checker.check_csc();
+        std::cout << "stations=" << stations << ": states=" << sg.num_states()
+                  << " prefix-events=" << checker.prefix().num_events()
+                  << " USC=" << (usc.holds ? "holds" : "VIOLATED")
+                  << " CSC=" << (csc.holds ? "holds" : "VIOLATED") << "\n";
+
+        if (stations == 2 && !csc.holds) {
+            std::cout << "\nWhy the 2-station ring is not implementable:\n"
+                      << core::format_witness(model, *csc.witness)
+                      << "\nBoth markings have the all-zero code: the circuit "
+                         "cannot tell which\nstation holds the token, yet must "
+                         "drive a different ring output (rr1 vs rr2).\n\n";
+        }
+    }
+    // The library can repair the 2-station ring automatically: insert
+    // internal state signals until CSC holds (generate-and-verify over the
+    // conflict cores).
+    std::cout << "\nAutomatic resolution of the 2-station ring:\n";
+    stg::Stg two = stg::bench::token_ring(2);
+    auto resolution = core::resolve_csc(two);
+    if (resolution.resolved) {
+        for (const auto& step : resolution.steps)
+            std::cout << "  inserted " << step.signal << "+ after "
+                      << step.rising_after << ", " << step.signal << "- after "
+                      << step.falling_after << "\n";
+        core::UnfoldingChecker fixed(resolution.stg);
+        std::cout << "  repaired STG: CSC "
+                  << (fixed.check_csc().holds ? "holds" : "still violated")
+                  << " (" << resolution.stg.net().num_transitions()
+                  << " transitions)\n";
+    } else {
+        std::cout << "  no resolution found within the search budget\n";
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+// Scenario: the complete synthesis front-end, steps (a)-(c) of the flow the
+// paper's introduction describes, on the duplex channel controller:
+//
+//   (a) implementability checks -- consistency, USC, CSC (the paper's
+//       contribution), plus deadlock-freeness via the section 5 machinery;
+//   (b) specification repair -- the unresolved duplex channel has coding
+//       conflicts; the direction-coded variant resolves them (what a
+//       designer would do guided by the witnesses);
+//   (c) logic derivation -- next-state covers for every output, with the
+//       normalcy/monotonicity analysis saying which gates need input
+//       inverters.
+//
+//   ./synthesis_flow
+#include <iostream>
+
+#include "core/checkers.hpp"
+#include "core/extended_checks.hpp"
+#include "core/verifier.hpp"
+#include "stg/benchmarks.hpp"
+#include "stg/logic.hpp"
+#include "stg/state_graph.hpp"
+
+using namespace stgcc;
+
+int main() {
+    // ---- step (a): check the raw specification ---------------------------
+    stg::Stg raw = stg::bench::duplex_channel(1, /*coded_direction=*/false);
+    std::cout << "==== step (a): implementability of '" << raw.name()
+              << "' ====\n";
+    core::UnfoldingChecker checker(raw);
+    auto deadlock = core::check_deadlock(checker.problem());
+    std::cout << "deadlock: " << (deadlock.found ? "REACHABLE" : "none") << "\n";
+    auto csc = checker.check_csc();
+    std::cout << "CSC: " << (csc.holds ? "holds" : "VIOLATED") << "\n";
+    if (!csc.holds) {
+        std::cout << core::format_witness(raw, *csc.witness)
+                  << "\nThe code cannot tell which side owns the channel: "
+                     "both markings are\nall-zero-coded, but one must drive "
+                     "ad1 and the other bd1.\n\n";
+    }
+
+    // ---- step (b): repair with a direction signal -------------------------
+    stg::Stg fixed = stg::bench::duplex_channel(1, /*coded_direction=*/true);
+    std::cout << "==== step (b): repaired specification '" << fixed.name()
+              << "' ====\n";
+    core::VerifyOptions opts;
+    auto report = core::verify_stg(fixed, opts);
+    std::cout << core::format_report(fixed, report) << "\n";
+    if (!report.csc.holds) return 1;
+
+    // ---- step (c): derive the logic ---------------------------------------
+    std::cout << "==== step (c): next-state functions ====\n";
+    stg::StateGraph sg(fixed);
+    stg::LogicSynthesizer synth(sg);
+    for (const auto& fn : synth.synthesize_all()) {
+        std::cout << "  " << fixed.signal_name(fn.signal) << " = "
+                  << fn.cover.to_string(fixed);
+        if (!is_monotonic(fn.cover))
+            std::cout << "   [needs an input inverter: not normal]";
+        std::cout << "\n";
+    }
+    std::cout << "\nEvery cover above equals Nxt_z on all reachable codes "
+                 "(unreachable codes\nare don't-cares); the [not normal] "
+                 "marks match the section 6 normalcy\nanalysis in "
+                 "normalcy_demo.\n";
+    return 0;
+}

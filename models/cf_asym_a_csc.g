@@ -1,0 +1,28 @@
+.model cf-asym-5
+.inputs r fs gs
+.outputs f1 f2 f3 f4 f5 g1 g2 g3
+.graph
+r+ f1+ g1+
+f1+ f2+ r-
+f2- f1+ f3-
+r- f1- g1-
+f1- f2- r+
+f2+ f1- f3+
+f3- f2+ f4-
+f3+ f2- f4+
+f4- f3+ f5-
+f4+ f3- f5+
+f5- f4+ fs-
+f5+ f4- fs+
+fs- f5+
+fs+ f5-
+g1+ g2+ r-
+g2- g1+ g3-
+g1- g2- r+
+g2+ g1- g3+
+g3- g2+ gs-
+g3+ g2- gs+
+gs- g3+
+gs+ g3-
+.marking { <f2-,f1+> <f3-,f2+> <f4-,f3+> <f5-,f4+> <fs-,f5+> <g2-,g1+> <g3-,g2+> <gs-,g3+> <f1-,r+> <g1-,r+> }
+.end

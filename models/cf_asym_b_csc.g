@@ -1,0 +1,34 @@
+.model cf-asym-7
+.inputs r fs gs
+.outputs f1 f2 f3 f4 f5 f6 f7 g1 g2 g3 g4
+.graph
+r+ f1+ g1+
+f1+ f2+ r-
+f2- f1+ f3-
+r- f1- g1-
+f1- f2- r+
+f2+ f1- f3+
+f3- f2+ f4-
+f3+ f2- f4+
+f4- f3+ f5-
+f4+ f3- f5+
+f5- f4+ f6-
+f5+ f4- f6+
+f6- f5+ f7-
+f6+ f5- f7+
+f7- f6+ fs-
+f7+ f6- fs+
+fs- f7+
+fs+ f7-
+g1+ g2+ r-
+g2- g1+ g3-
+g1- g2- r+
+g2+ g1- g3+
+g3- g2+ g4-
+g3+ g2- g4+
+g4- g3+ gs-
+g4+ g3- gs+
+gs- g4+
+gs+ g4-
+.marking { <f2-,f1+> <f3-,f2+> <f4-,f3+> <f5-,f4+> <f6-,f5+> <f7-,f6+> <fs-,f7+> <g2-,g1+> <g3-,g2+> <g4-,g3+> <gs-,g4+> <f1-,r+> <g1-,r+> }
+.end

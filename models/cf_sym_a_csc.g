@@ -1,0 +1,20 @@
+.model cf-sym-2
+.inputs r fs gs
+.outputs f1 f2 g1 g2
+.graph
+r+ f1+ g1+
+f1+ f2+ r-
+f2- f1+ fs-
+r- f1- g1-
+f1- f2- r+
+f2+ f1- fs+
+fs- f2+
+fs+ f2-
+g1+ g2+ r-
+g2- g1+ gs-
+g1- g2- r+
+g2+ g1- gs+
+gs- g2+
+gs+ g2-
+.marking { <f2-,f1+> <fs-,f2+> <g2-,g1+> <gs-,g2+> <f1-,r+> <g1-,r+> }
+.end

@@ -1,0 +1,24 @@
+.model cf-sym-3
+.inputs r fs gs
+.outputs f1 f2 f3 g1 g2 g3
+.graph
+r+ f1+ g1+
+f1+ f2+ r-
+f2- f1+ f3-
+r- f1- g1-
+f1- f2- r+
+f2+ f1- f3+
+f3- f2+ fs-
+f3+ f2- fs+
+fs- f3+
+fs+ f3-
+g1+ g2+ r-
+g2- g1+ g3-
+g1- g2- r+
+g2+ g1- g3+
+g3- g2+ gs-
+g3+ g2- gs+
+gs- g3+
+gs+ g3-
+.marking { <f2-,f1+> <f3-,f2+> <fs-,f3+> <g2-,g1+> <g3-,g2+> <gs-,g3+> <f1-,r+> <g1-,r+> }
+.end

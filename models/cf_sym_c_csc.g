@@ -1,0 +1,28 @@
+.model cf-sym-4
+.inputs r fs gs
+.outputs f1 f2 f3 f4 g1 g2 g3 g4
+.graph
+r+ f1+ g1+
+f1+ f2+ r-
+f2- f1+ f3-
+r- f1- g1-
+f1- f2- r+
+f2+ f1- f3+
+f3- f2+ f4-
+f3+ f2- f4+
+f4- f3+ fs-
+f4+ f3- fs+
+fs- f4+
+fs+ f4-
+g1+ g2+ r-
+g2- g1+ g3-
+g1- g2- r+
+g2+ g1- g3+
+g3- g2+ g4-
+g3+ g2- g4+
+g4- g3+ gs-
+g4+ g3- gs+
+gs- g4+
+gs+ g4-
+.marking { <f2-,f1+> <f3-,f2+> <f4-,f3+> <fs-,f4+> <g2-,g1+> <g3-,g2+> <g4-,g3+> <gs-,g4+> <f1-,r+> <g1-,r+> }
+.end

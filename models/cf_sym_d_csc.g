@@ -1,0 +1,32 @@
+.model cf-sym-5
+.inputs r fs gs
+.outputs f1 f2 f3 f4 f5 g1 g2 g3 g4 g5
+.graph
+r+ f1+ g1+
+f1+ f2+ r-
+f2- f1+ f3-
+r- f1- g1-
+f1- f2- r+
+f2+ f1- f3+
+f3- f2+ f4-
+f3+ f2- f4+
+f4- f3+ f5-
+f4+ f3- f5+
+f5- f4+ fs-
+f5+ f4- fs+
+fs- f5+
+fs+ f5-
+g1+ g2+ r-
+g2- g1+ g3-
+g1- g2- r+
+g2+ g1- g3+
+g3- g2+ g4-
+g3+ g2- g4+
+g4- g3+ g5-
+g4+ g3- g5+
+g5- g4+ gs-
+g5+ g4- gs+
+gs- g5+
+gs+ g5-
+.marking { <f2-,f1+> <f3-,f2+> <f4-,f3+> <f5-,f4+> <fs-,f5+> <g2-,g1+> <g3-,g2+> <g4-,g3+> <g5-,g4+> <gs-,g5+> <f1-,r+> <g1-,r+> }
+.end

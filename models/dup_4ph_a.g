@@ -1,0 +1,18 @@
+.model duplex-1
+.inputs asr bsr bk1 ak1
+.outputs ad1 bd1
+.graph
+asr+ ad1+
+ad1+ bk1+
+bk1+ ad1-
+ad1- bk1-
+bk1- asr-
+asr- bd1+ asr+
+bsr+ bd1+
+bd1+ ak1+
+ak1+ bd1-
+bd1- ak1-
+ak1- bsr-
+bsr- ad1+ bsr+
+.marking { <bsr-,ad1+> <asr-,asr+> <bsr-,bsr+> }
+.end

@@ -1,0 +1,26 @@
+.model duplex-2
+.inputs asr bsr bk1 ak1 bk2 ak2
+.outputs ad1 bd1 ad2 bd2
+.graph
+asr+ ad1+
+ad1+ bk1+
+bk1+ ad2+
+ad2+ bk2+
+bk2+ ad1-
+ad1- bk1-
+bk1- ad2-
+ad2- bk2-
+bk2- asr-
+asr- bd1+ asr+
+bsr+ bd1+
+bd1+ ak1+
+ak1+ bd2+
+bd2+ ak2+
+ak2+ bd1-
+bd1- ak1-
+ak1- bd2-
+bd2- ak2-
+ak2- bsr-
+bsr- ad1+ bsr+
+.marking { <bsr-,ad1+> <asr-,asr+> <bsr-,bsr+> }
+.end

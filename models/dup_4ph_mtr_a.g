@@ -1,0 +1,22 @@
+.model duplex-1-pc
+.inputs asr bsr bk1 ak1
+.outputs ad1 bd1 apc bpc
+.graph
+asr+ apc+
+apc+ ad1+
+ad1+ bk1+
+bk1+ ad1-
+ad1- bk1-
+bk1- apc-
+apc- asr-
+asr- bpc+ asr+
+bsr+ bpc+
+bpc+ bd1+
+bd1+ ak1+
+ak1+ bd1-
+bd1- ak1-
+ak1- bpc-
+bpc- bsr-
+bsr- apc+ bsr+
+.marking { <bsr-,apc+> <asr-,asr+> <bsr-,bsr+> }
+.end

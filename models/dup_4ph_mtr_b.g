@@ -1,0 +1,30 @@
+.model duplex-2-pc
+.inputs asr bsr bk1 ak1 bk2 ak2
+.outputs ad1 bd1 ad2 bd2 apc bpc
+.graph
+asr+ apc+
+apc+ ad1+
+ad1+ bk1+
+bk1+ ad2+
+ad2+ bk2+
+bk2+ ad1-
+ad1- bk1-
+bk1- ad2-
+ad2- bk2-
+bk2- apc-
+apc- asr-
+asr- bpc+ asr+
+bsr+ bpc+
+bpc+ bd1+
+bd1+ ak1+
+ak1+ bd2+
+bd2+ ak2+
+ak2+ bd1-
+bd1- ak1-
+ak1- bd2-
+bd2- ak2-
+ak2- bpc-
+bpc- bsr-
+bsr- apc+ bsr+
+.marking { <bsr-,apc+> <asr-,asr+> <bsr-,bsr+> }
+.end

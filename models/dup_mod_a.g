@@ -1,0 +1,34 @@
+.model duplex-3
+.inputs asr bsr bk1 ak1 bk2 ak2 bk3 ak3
+.outputs ad1 bd1 ad2 bd2 ad3 bd3
+.graph
+asr+ ad1+
+ad1+ bk1+
+bk1+ ad2+
+ad2+ bk2+
+bk2+ ad3+
+ad3+ bk3+
+bk3+ ad1-
+ad1- bk1-
+bk1- ad2-
+ad2- bk2-
+bk2- ad3-
+ad3- bk3-
+bk3- asr-
+asr- bd1+ asr+
+bsr+ bd1+
+bd1+ ak1+
+ak1+ bd2+
+bd2+ ak2+
+ak2+ bd3+
+bd3+ ak3+
+ak3+ bd1-
+bd1- ak1-
+ak1- bd2-
+bd2- ak2-
+ak2- bd3-
+bd3- ak3-
+ak3- bsr-
+bsr- ad1+ bsr+
+.marking { <bsr-,ad1+> <asr-,asr+> <bsr-,bsr+> }
+.end

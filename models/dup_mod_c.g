@@ -1,0 +1,46 @@
+.model duplex-4-pc
+.inputs asr bsr bk1 ak1 bk2 ak2 bk3 ak3 bk4 ak4
+.outputs ad1 bd1 ad2 bd2 ad3 bd3 ad4 bd4 apc bpc
+.graph
+asr+ apc+
+apc+ ad1+
+ad1+ bk1+
+bk1+ ad2+
+ad2+ bk2+
+bk2+ ad3+
+ad3+ bk3+
+bk3+ ad4+
+ad4+ bk4+
+bk4+ ad1-
+ad1- bk1-
+bk1- ad2-
+ad2- bk2-
+bk2- ad3-
+ad3- bk3-
+bk3- ad4-
+ad4- bk4-
+bk4- apc-
+apc- asr-
+asr- bpc+ asr+
+bsr+ bpc+
+bpc+ bd1+
+bd1+ ak1+
+ak1+ bd2+
+bd2+ ak2+
+ak2+ bd3+
+bd3+ ak3+
+ak3+ bd4+
+bd4+ ak4+
+ak4+ bd1-
+bd1- ak1-
+ak1- bd2-
+bd2- ak2-
+ak2- bd3-
+bd3- ak3-
+ak3- bd4-
+bd4- ak4-
+ak4- bpc-
+bpc- bsr-
+bsr- apc+ bsr+
+.marking { <bsr-,apc+> <asr-,asr+> <bsr-,bsr+> }
+.end

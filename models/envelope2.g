@@ -1,0 +1,24 @@
+.model envelope-2
+.inputs env
+.outputs a b
+.graph
+env+ a+/11
+a+/11 b+/11
+b+/11 a-/11
+a-/11 b-/11
+b-/11 a+/12
+a+/12 b+/12
+b+/12 a-/12
+a-/12 b-/12
+b-/12 env-
+env- a+/21
+a+/21 b+/21
+b+/21 a-/21
+a-/21 b-/21
+b-/21 a+/22
+a+/22 b+/22
+b+/22 a-/22
+a-/22 b-/22
+b-/22 env+
+.marking { <b-/22,env+> }
+.end

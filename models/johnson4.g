@@ -1,0 +1,14 @@
+.model johnson-4
+.inputs z1
+.outputs z2 z3 z4
+.graph
+z1+ z2+
+z2+ z3+
+z3+ z4+
+z4+ z1-
+z1- z2-
+z2- z3-
+z3- z4-
+z4- z1+
+.marking { <z4-,z1+> }
+.end

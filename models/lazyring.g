@@ -1,0 +1,26 @@
+.model ring-2
+.inputs req1 skip1 req2 skip2
+.outputs gnt1 rr1 gnt2 rr2
+.graph
+req1+ gnt1+
+gnt1+ req1-
+req1- gnt1-
+gnt1- done1
+skip1+ skip1-
+skip1- done1
+rr1+ rr1-
+rr1- tok2
+req2+ gnt2+
+gnt2+ req2-
+req2- gnt2-
+gnt2- done2
+skip2+ skip2-
+skip2- done2
+rr2+ rr2-
+rr2- tok1
+tok1 req1+ skip1+
+done1 rr1+
+tok2 req2+ skip2+
+done2 rr2+
+.marking { tok1 }
+.end

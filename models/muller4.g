@@ -1,0 +1,18 @@
+.model muller-4
+.inputs c0 c5
+.outputs c1 c2 c3 c4
+.graph
+c0+ c1+
+c1+ c2+ c0-
+c2- c1+ c3-
+c0- c1-
+c1- c2- c0+
+c2+ c1- c3+
+c3- c2+ c4-
+c3+ c2- c4+
+c4- c3+ c5-
+c4+ c3- c5+
+c5- c4+
+c5+ c4-
+.marking { <c2-,c1+> <c3-,c2+> <c4-,c3+> <c5-,c4+> <c1-,c0+> }
+.end

@@ -1,0 +1,22 @@
+.model par-4
+.inputs r1 r2 r3 r4
+.outputs a1 a2 a3 a4
+.graph
+r1+ a1+
+a1+ r1-
+r1- a1-
+a1- r1+
+r2+ a2+
+a2+ r2-
+r2- a2-
+a2- r2+
+r3+ a3+
+a3+ r3-
+r3- a3-
+a3- r3+
+r4+ a4+
+a4+ r4-
+r4- a4-
+a4- r4+
+.marking { <a1-,r1+> <a2-,r2+> <a3-,r3+> <a4-,r4+> }
+.end

@@ -1,0 +1,46 @@
+.model ring-4
+.inputs req1 skip1 req2 skip2 req3 skip3 req4 skip4
+.outputs gnt1 rr1 gnt2 rr2 gnt3 rr3 gnt4 rr4
+.graph
+req1+ gnt1+
+gnt1+ req1-
+req1- gnt1-
+gnt1- done1
+skip1+ skip1-
+skip1- done1
+rr1+ rr1-
+rr1- tok2
+req2+ gnt2+
+gnt2+ req2-
+req2- gnt2-
+gnt2- done2
+skip2+ skip2-
+skip2- done2
+rr2+ rr2-
+rr2- tok3
+req3+ gnt3+
+gnt3+ req3-
+req3- gnt3-
+gnt3- done3
+skip3+ skip3-
+skip3- done3
+rr3+ rr3-
+rr3- tok4
+req4+ gnt4+
+gnt4+ req4-
+req4- gnt4-
+gnt4- done4
+skip4+ skip4-
+skip4- done4
+rr4+ rr4-
+rr4- tok1
+tok1 req1+ skip1+
+done1 rr1+
+tok2 req2+ skip2+
+done2 rr2+
+tok3 req3+ skip3+
+done3 rr3+
+tok4 req4+ skip4+
+done4 rr4+
+.marking { tok1 }
+.end

@@ -1,0 +1,16 @@
+.model vme-bus
+.inputs dsr ldtack
+.outputs dtack lds d
+.graph
+dsr+ lds+
+lds+ ldtack+
+ldtack+ d+
+d+ dtack+
+dtack+ dsr-
+dsr- d-
+d- dtack- lds-
+dtack- dsr+
+lds- ldtack-
+ldtack- lds+
+.marking { <dtack-,dsr+> <ldtack-,lds+> }
+.end

@@ -1,0 +1,19 @@
+.model vme-bus-csc
+.inputs dsr ldtack
+.outputs dtack lds d
+.internal csc
+.graph
+dsr+ csc+
+csc+ lds+
+ldtack- csc+
+lds+ ldtack+
+ldtack+ d+
+d+ dtack+
+dtack+ dsr-
+dsr- d- csc-
+d- dtack- lds-
+csc- lds- dsr+
+dtack- dsr+
+lds- ldtack-
+.marking { <ldtack-,csc+> <dtack-,dsr+> <csc-,dsr+> }
+.end

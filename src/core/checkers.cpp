@@ -1,0 +1,148 @@
+#include "core/checkers.hpp"
+
+#include "unfolding/configuration.hpp"
+
+namespace stgcc::core {
+
+UnfoldingChecker::UnfoldingChecker(const stg::Stg& stg, unf::UnfoldOptions opts)
+    : stg_(&stg), prefix_(unf::unfold(stg.system(), opts)) {
+    problem_ = std::make_unique<CodingProblem>(stg, prefix_);
+}
+
+UnfoldingChecker::UnfoldingChecker(const stg::Stg& stg, unf::Prefix prefix)
+    : stg_(&stg), prefix_(std::move(prefix)) {
+    problem_ = std::make_unique<CodingProblem>(stg, prefix_);
+}
+
+stg::ConflictWitness UnfoldingChecker::make_witness(const BitVec& ca,
+                                                    const BitVec& cb) const {
+    stg::ConflictWitness w;
+    const BitVec ea = problem_->to_event_set(ca);
+    const BitVec eb = problem_->to_event_set(cb);
+    w.code = problem_->code_of(ca);
+    w.m1 = unf::marking_of(prefix_, ea);
+    w.m2 = unf::marking_of(prefix_, eb);
+    w.out1 = stg_->out_signals(w.m1);
+    w.out2 = stg_->out_signals(w.m2);
+    w.trace1 = unf::firing_sequence_of(prefix_, ea);
+    w.trace2 = unf::firing_sequence_of(prefix_, eb);
+    return w;
+}
+
+stg::CodingCheckResult UnfoldingChecker::check_usc(SearchOptions opts) const {
+    CompatSolver solver(*problem_, opts);
+    auto outcome = solver.solve(
+        CodeRelation::Equal, [&](const BitVec& ca, const BitVec& cb) {
+            // USC separating predicate: the markings must differ.
+            return !(unf::marking_of(prefix_, problem_->to_event_set(ca)) ==
+                     unf::marking_of(prefix_, problem_->to_event_set(cb)));
+        });
+    stg::CodingCheckResult result;
+    result.stats = outcome.stats;
+    if (outcome.found) {
+        result.holds = false;
+        result.witness = make_witness(outcome.ca, outcome.cb);
+    }
+    return result;
+}
+
+stg::CodingCheckResult UnfoldingChecker::check_csc(SearchOptions opts) const {
+    CompatSolver solver(*problem_, opts);
+    auto outcome = solver.solve(
+        CodeRelation::Equal, [&](const BitVec& ca, const BitVec& cb) {
+            // CSC separating predicate: enabled-output sets must differ
+            // (equal codes with different Out sets imply distinct markings).
+            const petri::Marking ma =
+                unf::marking_of(prefix_, problem_->to_event_set(ca));
+            const petri::Marking mb =
+                unf::marking_of(prefix_, problem_->to_event_set(cb));
+            return !(stg_->out_signals(ma) == stg_->out_signals(mb));
+        });
+    stg::CodingCheckResult result;
+    result.stats = outcome.stats;
+    if (outcome.found) {
+        result.holds = false;
+        result.witness = make_witness(outcome.ca, outcome.cb);
+    }
+    return result;
+}
+
+stg::NormalcyResult UnfoldingChecker::check_normalcy(SearchOptions opts) const {
+    const std::vector<stg::SignalId> outputs = stg_->circuit_driven_signals();
+    stg::NormalcyResult result;
+    result.per_signal.resize(outputs.size());
+    for (std::size_t i = 0; i < outputs.size(); ++i)
+        result.per_signal[i].signal = outputs[i];
+
+    auto make_nw = [&](stg::SignalId z, const BitVec& lo_cfg, const BitVec& hi_cfg) {
+        stg::NormalcyWitness w;
+        w.signal = z;
+        const BitVec el = problem_->to_event_set(lo_cfg);
+        const BitVec eh = problem_->to_event_set(hi_cfg);
+        w.m1 = unf::marking_of(prefix_, el);
+        w.m2 = unf::marking_of(prefix_, eh);
+        w.code1 = problem_->code_of(lo_cfg);
+        w.code2 = problem_->code_of(hi_cfg);
+        w.nxt1 = stg_->nxt(w.m1, w.code1, z);
+        w.nxt2 = stg_->nxt(w.m2, w.code2, z);
+        w.trace1 = unf::firing_sequence_of(prefix_, el);
+        w.trace2 = unf::firing_sequence_of(prefix_, eh);
+        return w;
+    };
+
+    // One pass per orientation of the code-dominance constraint; the
+    // enumeration covers each unordered pair once, so a violating ordered
+    // pair is found either with Code(x') <= Code(x'') (lo = x') or with
+    // Code(x') >= Code(x'') (lo = x'').
+    for (CodeRelation rel : {CodeRelation::LessEq, CodeRelation::GreaterEq}) {
+        bool all_resolved = false;
+        CompatSolver solver(*problem_, opts);
+        auto outcome = solver.solve(rel, [&](const BitVec& ca, const BitVec& cb) {
+            const BitVec& lo_cfg = rel == CodeRelation::LessEq ? ca : cb;
+            const BitVec& hi_cfg = rel == CodeRelation::LessEq ? cb : ca;
+            const petri::Marking mlo =
+                unf::marking_of(prefix_, problem_->to_event_set(lo_cfg));
+            const petri::Marking mhi =
+                unf::marking_of(prefix_, problem_->to_event_set(hi_cfg));
+            const stg::Code clo = problem_->code_of(lo_cfg);
+            const stg::Code chi = problem_->code_of(hi_cfg);
+            bool progress = false;
+            for (std::size_t i = 0; i < outputs.size(); ++i) {
+                stg::SignalNormalcy& sn = result.per_signal[i];
+                const stg::SignalId z = outputs[i];
+                if (sn.p_normal || sn.n_normal) {
+                    const bool nxt_lo = stg_->nxt(mlo, clo, z);
+                    const bool nxt_hi = stg_->nxt(mhi, chi, z);
+                    if (sn.p_normal && nxt_lo && !nxt_hi) {
+                        sn.p_normal = false;
+                        sn.p_violation = make_nw(z, lo_cfg, hi_cfg);
+                        progress = true;
+                    }
+                    if (sn.n_normal && !nxt_lo && nxt_hi) {
+                        sn.n_normal = false;
+                        sn.n_violation = make_nw(z, lo_cfg, hi_cfg);
+                        progress = true;
+                    }
+                }
+            }
+            (void)progress;
+            // Stop early only when no signal can still be classified normal.
+            bool anything_open = false;
+            for (const auto& sn : result.per_signal)
+                if (sn.p_normal || sn.n_normal) anything_open = true;
+            if (!anything_open) all_resolved = true;
+            return all_resolved;
+        });
+        result.stats.search_nodes += outcome.stats.search_nodes;
+        result.stats.leaves += outcome.stats.leaves;
+        result.stats.seconds += outcome.stats.seconds;
+        if (all_resolved) break;
+    }
+
+    result.normal = true;
+    for (const auto& sn : result.per_signal)
+        if (!sn.normal()) result.normal = false;
+    return result;
+}
+
+}  // namespace stgcc::core

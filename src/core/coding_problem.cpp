@@ -1,0 +1,66 @@
+#include "core/coding_problem.hpp"
+
+namespace stgcc::core {
+
+using unf::EventId;
+
+CodingProblem::CodingProblem(const stg::Stg& stg, const unf::Prefix& prefix)
+    : stg_(&stg), prefix_(&prefix) {
+    stg.require_dummy_free();
+    const auto consistency = unf::analyze_consistency(stg, prefix);
+    if (!consistency.consistent)
+        throw ModelError("STG '" + stg.name() +
+                         "' is inconsistent: " + consistency.reason);
+    initial_code_ = consistency.initial_code;
+    conflict_free_ = unf::is_dynamically_conflict_free(prefix);
+
+    // Dense index over non-cut-off events.
+    std::vector<std::size_t> dense_of(prefix.num_events(), SIZE_MAX);
+    for (EventId e = 0; e < prefix.num_events(); ++e) {
+        if (prefix.event(e).cutoff) continue;
+        dense_of[e] = events_.size();
+        events_.push_back(e);
+    }
+
+    const std::size_t q = events_.size();
+    preds_.assign(q, BitVec(q));
+    succs_.assign(q, BitVec(q));
+    confs_.assign(q, BitVec(q));
+    signal_.resize(q);
+    delta_.resize(q);
+
+    for (std::size_t i = 0; i < q; ++i) {
+        const EventId e = events_[i];
+        const stg::Label l = stg.label(prefix.event(e).transition);
+        signal_[i] = l.signal;
+        delta_[i] = l.delta();
+        prefix.local_config(e).for_each([&](std::size_t f) {
+            if (f == e) return;
+            // Causal predecessors of a non-cut-off event are non-cut-off
+            // (cut-off events have no successors in the prefix).
+            STGCC_ASSERT(dense_of[f] != SIZE_MAX);
+            preds_[i].set(dense_of[f]);
+            succs_[dense_of[f]].set(i);
+        });
+        prefix.conflicts(e).for_each([&](std::size_t g) {
+            if (g < dense_of.size() && dense_of[g] != SIZE_MAX)
+                confs_[i].set(dense_of[g]);
+        });
+    }
+}
+
+BitVec CodingProblem::to_event_set(const BitVec& dense) const {
+    BitVec out = prefix_->make_event_set();
+    dense.for_each([&](std::size_t i) { out.set(events_[i]); });
+    return out;
+}
+
+stg::Code CodingProblem::code_of(const BitVec& dense) const {
+    stg::Code code = initial_code_;
+    dense.for_each([&](std::size_t i) {
+        code.assign_bit(signal_[i], !code.test(signal_[i]));
+    });
+    return code;
+}
+
+}  // namespace stgcc::core

@@ -1,0 +1,77 @@
+// stgcc -- precomputed data for the partial-order-aware conflict search.
+//
+// A CodingProblem densifies the non-cut-off events of a prefix (cut-off
+// variables are pinned to 0, which "effectively removes some of the
+// variables" -- paper, section 3) and caches, per dense event index:
+//   * its strict causal predecessors, successors and conflict set as bit
+//     vectors over dense indices (the Theorem 1 closure rules),
+//   * its signal and code contribution (+1 for z+, -1 for z-).
+// It also records the derived initial code v0 and whether the STG is
+// dynamically conflict-free (enabling the section 7 optimisation).
+#pragma once
+
+#include <vector>
+
+#include "stg/stg.hpp"
+#include "unfolding/occurrence_net.hpp"
+#include "unfolding/prefix_checks.hpp"
+
+namespace stgcc::core {
+
+class CodingProblem {
+public:
+    /// Build from a consistent, dummy-free STG and its complete prefix.
+    /// Throws ModelError when the STG is inconsistent.
+    CodingProblem(const stg::Stg& stg, const unf::Prefix& prefix);
+
+    [[nodiscard]] const stg::Stg& stg() const noexcept { return *stg_; }
+    [[nodiscard]] const unf::Prefix& prefix() const noexcept { return *prefix_; }
+
+    /// Number of dense (non-cut-off) events q; the solver searches over
+    /// pairs of 0-1 vectors of this length.
+    [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+    [[nodiscard]] unf::EventId event_of(std::size_t dense) const {
+        return events_[dense];
+    }
+
+    [[nodiscard]] const BitVec& preds(std::size_t dense) const { return preds_[dense]; }
+    [[nodiscard]] const BitVec& succs(std::size_t dense) const { return succs_[dense]; }
+    [[nodiscard]] const BitVec& conflicts(std::size_t dense) const {
+        return confs_[dense];
+    }
+
+    [[nodiscard]] stg::SignalId signal(std::size_t dense) const {
+        return signal_[dense];
+    }
+    /// +1 for a rising edge, -1 for a falling edge.
+    [[nodiscard]] int delta(std::size_t dense) const { return delta_[dense]; }
+
+    [[nodiscard]] const stg::Code& initial_code() const noexcept {
+        return initial_code_;
+    }
+
+    /// Paper section 7: true when the union of any two configurations is a
+    /// configuration, so the pair search may be restricted to C' subset C''.
+    [[nodiscard]] bool dynamically_conflict_free() const noexcept {
+        return conflict_free_;
+    }
+
+    /// Expand a dense 0-1 vector (as BitVec) into an event set of the prefix.
+    [[nodiscard]] BitVec to_event_set(const BitVec& dense) const;
+
+    /// Code of the marking reached by a dense configuration: v0 + change vector.
+    [[nodiscard]] stg::Code code_of(const BitVec& dense) const;
+
+private:
+    const stg::Stg* stg_;
+    const unf::Prefix* prefix_;
+    std::vector<unf::EventId> events_;
+    std::vector<BitVec> preds_, succs_, confs_;
+    std::vector<stg::SignalId> signal_;
+    std::vector<int> delta_;
+    stg::Code initial_code_;
+    bool conflict_free_ = false;
+};
+
+}  // namespace stgcc::core

@@ -1,0 +1,249 @@
+#include "core/compat_solver.hpp"
+
+#include <climits>
+
+#include "util/stopwatch.hpp"
+
+namespace stgcc::core {
+
+CompatSolver::CompatSolver(const CodingProblem& problem, SearchOptions opts)
+    : problem_(&problem), opts_(opts) {}
+
+bool CompatSolver::signal_feasible(stg::SignalId z) const {
+    const SignalState& s = signals_[z];
+    const int min_sum = s.fixed - s.neg_slack;
+    const int max_sum = s.fixed + s.pos_slack;
+    switch (relation_) {
+        case CodeRelation::Equal:
+            return min_sum <= 0 && max_sum >= 0;
+        case CodeRelation::LessEq:
+            return min_sum <= 0;
+        case CodeRelation::GreaterEq:
+            return max_sum >= 0;
+    }
+    return true;
+}
+
+bool CompatSolver::force_extreme(stg::SignalId z, bool maximum) {
+    // To satisfy the relation, D_z must take its extreme value: every
+    // unassigned variable of z is forced (max: coef>0 -> 1, coef<0 -> 0;
+    // min: the opposite).
+    for (const VarRef& v : vars_of_signal_[z]) {
+        if (val_[v.side][v.idx] != kUnassigned) continue;
+        const int coef = coefficient(v.side, v.idx);
+        const std::int8_t forced =
+            static_cast<std::int8_t>(maximum == (coef > 0) ? 1 : 0);
+        pending_.emplace_back(v, forced);
+    }
+    return true;
+}
+
+bool CompatSolver::assign(int side, std::size_t idx, int value) {
+    pending_.clear();
+    pending_.emplace_back(VarRef{static_cast<std::uint8_t>(side),
+                                 static_cast<std::uint32_t>(idx)},
+                          static_cast<std::int8_t>(value));
+    while (!pending_.empty()) {
+        const auto [v, val] = pending_.back();
+        pending_.pop_back();
+        const std::int8_t cur = val_[v.side][v.idx];
+        if (cur != kUnassigned) {
+            if (cur != val) return false;  // contradiction
+            continue;
+        }
+        val_[v.side][v.idx] = val;
+        trail_.push_back(v);
+
+        // Per-signal accounting and interval pruning.
+        const stg::SignalId z = problem_->signal(v.idx);
+        SignalState& s = signals_[z];
+        const int coef = coefficient(v.side, v.idx);
+        if (coef > 0)
+            --s.pos_slack;
+        else
+            --s.neg_slack;
+        if (val == 1) s.fixed += coef;
+        if (!signal_feasible(z)) return false;
+
+        // Unit-style forcing when the relation pins D_z to an extreme.
+        switch (relation_) {
+            case CodeRelation::Equal:
+                if (s.fixed + s.pos_slack == 0) force_extreme(z, /*maximum=*/true);
+                if (s.fixed - s.neg_slack == 0) force_extreme(z, /*maximum=*/false);
+                break;
+            case CodeRelation::LessEq:
+                if (s.fixed - s.neg_slack == 0) force_extreme(z, /*maximum=*/false);
+                break;
+            case CodeRelation::GreaterEq:
+                if (s.fixed + s.pos_slack == 0) force_extreme(z, /*maximum=*/true);
+                break;
+        }
+
+        // Theorem 1 closure (MCC): x(e)=1 forces predecessors to 1 and
+        // conflicters to 0; x(e)=0 forces successors to 0.
+        const std::uint8_t side8 = v.side;
+        if (val == 1) {
+            problem_->preds(v.idx).for_each([&](std::size_t f) {
+                pending_.emplace_back(
+                    VarRef{side8, static_cast<std::uint32_t>(f)}, std::int8_t{1});
+            });
+            problem_->conflicts(v.idx).for_each([&](std::size_t g) {
+                pending_.emplace_back(
+                    VarRef{side8, static_cast<std::uint32_t>(g)}, std::int8_t{0});
+            });
+        } else {
+            problem_->succs(v.idx).for_each([&](std::size_t g) {
+                pending_.emplace_back(
+                    VarRef{side8, static_cast<std::uint32_t>(g)}, std::int8_t{0});
+            });
+        }
+
+        // First-difference linking: below index d the two vectors are equal.
+        if (v.idx < first_diff_)
+            pending_.emplace_back(
+                VarRef{static_cast<std::uint8_t>(1 - v.side), v.idx}, val);
+
+        // Section 7 optimisation: restrict to C' subset C'' (x'_e <= x''_e).
+        if (conflict_free_mode_) {
+            if (v.side == 0 && val == 1)
+                pending_.emplace_back(VarRef{1, v.idx}, std::int8_t{1});
+            if (v.side == 1 && val == 0)
+                pending_.emplace_back(VarRef{0, v.idx}, std::int8_t{0});
+        }
+    }
+    return true;
+}
+
+void CompatSolver::undo_to(std::size_t mark) {
+    while (trail_.size() > mark) {
+        const VarRef v = trail_.back();
+        trail_.pop_back();
+        const std::int8_t val = val_[v.side][v.idx];
+        val_[v.side][v.idx] = kUnassigned;
+        SignalState& s = signals_[problem_->signal(v.idx)];
+        const int coef = coefficient(v.side, v.idx);
+        if (coef > 0)
+            ++s.pos_slack;
+        else
+            ++s.neg_slack;
+        if (val == 1) s.fixed -= coef;
+    }
+}
+
+BitVec CompatSolver::extract(int side) const {
+    BitVec out(problem_->size());
+    for (std::size_t i = 0; i < problem_->size(); ++i)
+        if (val_[side][i] == 1) out.set(i);
+    return out;
+}
+
+bool CompatSolver::dfs(const PairPredicate& accept) {
+    if (++stats_.search_nodes > opts_.max_nodes)
+        throw ModelError("CompatSolver: node limit exceeded (" +
+                         std::to_string(opts_.max_nodes) + ")");
+
+    // Select the branching variable.
+    const std::size_t q = problem_->size();
+    int side = -1;
+    std::size_t idx = 0;
+    if (opts_.heuristic == BranchHeuristic::ConstrainedSignal) {
+        // Variable of the signal with the fewest unassigned slots (but at
+        // least one); falls back to index order on ties.
+        int best_slack = INT_MAX;
+        for (std::size_t i = 0; i < q && best_slack > 1; ++i) {
+            for (int s = 0; s < 2; ++s) {
+                if (val_[s][i] != kUnassigned) continue;
+                const SignalState& st = signals_[problem_->signal(i)];
+                const int slack = st.pos_slack + st.neg_slack;
+                if (slack < best_slack) {
+                    best_slack = slack;
+                    side = s;
+                    idx = i;
+                }
+            }
+        }
+    } else {
+        // First unassigned variable, x' before x'' at equal index.
+        for (std::size_t i = 0; i < q; ++i) {
+            if (val_[0][i] == kUnassigned) {
+                side = 0;
+                idx = i;
+                break;
+            }
+            if (val_[1][i] == kUnassigned) {
+                side = 1;
+                idx = i;
+                break;
+            }
+        }
+    }
+    if (side == -1) {
+        ++stats_.leaves;
+        BitVec ca = extract(0), cb = extract(1);
+        if (accept(ca, cb)) {
+            outcome_.found = true;
+            outcome_.ca = std::move(ca);
+            outcome_.cb = std::move(cb);
+            return true;
+        }
+        return false;
+    }
+
+    const int first = opts_.first_branch_value;
+    for (int k = 0; k < 2; ++k) {
+        const int v = k == 0 ? first : 1 - first;
+        const std::size_t mark = trail_.size();
+        if (assign(side, idx, v) && dfs(accept)) return true;
+        undo_to(mark);
+    }
+    return false;
+}
+
+SearchOutcome CompatSolver::solve(CodeRelation relation,
+                                  const PairPredicate& accept) {
+    Stopwatch timer;
+    relation_ = relation;
+    conflict_free_mode_ = opts_.use_conflict_free_optimisation &&
+                          problem_->dynamically_conflict_free();
+    const std::size_t q = problem_->size();
+    val_[0].assign(q, kUnassigned);
+    val_[1].assign(q, kUnassigned);
+    trail_.clear();
+    stats_ = stg::CheckStats{};
+    outcome_ = SearchOutcome{};
+
+    signals_.assign(problem_->stg().num_signals(), SignalState{});
+    vars_of_signal_.assign(problem_->stg().num_signals(), {});
+    for (std::size_t i = 0; i < q; ++i) {
+        for (int side = 0; side < 2; ++side) {
+            const int coef = coefficient(side, i);
+            SignalState& s = signals_[problem_->signal(i)];
+            if (coef > 0)
+                ++s.pos_slack;
+            else
+                ++s.neg_slack;
+            vars_of_signal_[problem_->signal(i)].push_back(
+                VarRef{static_cast<std::uint8_t>(side),
+                       static_cast<std::uint32_t>(i)});
+        }
+    }
+
+    // Outer loop over the first index d where the two vectors differ.
+    for (std::size_t d = 0; d < q && !outcome_.found; ++d) {
+        first_diff_ = d;
+        const std::size_t mark = trail_.size();
+        if (assign(0, d, 0) && assign(1, d, 1)) {
+            if (dfs(accept)) {
+                outcome_.stats = stats_;
+                outcome_.stats.seconds = timer.seconds();
+                return outcome_;
+            }
+        }
+        undo_to(mark);
+    }
+    outcome_.stats = stats_;
+    outcome_.stats.seconds = timer.seconds();
+    return outcome_;
+}
+
+}  // namespace stgcc::core

@@ -1,0 +1,61 @@
+#include "core/conflict_cores.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "unfolding/configuration.hpp"
+
+namespace stgcc::core {
+
+ConflictCoreReport collect_conflict_cores(const CodingProblem& problem,
+                                          std::size_t max_cores,
+                                          SearchOptions opts) {
+    ConflictCoreReport report;
+    const unf::Prefix& prefix = problem.prefix();
+    const stg::Stg& stg = problem.stg();
+    std::set<std::string> seen;
+
+    CompatSolver solver(problem, opts);
+    auto outcome = solver.solve(
+        CodeRelation::Equal, [&](const BitVec& ca, const BitVec& cb) {
+            const BitVec ea = problem.to_event_set(ca);
+            const BitVec eb = problem.to_event_set(cb);
+            const petri::Marking ma = unf::marking_of(prefix, ea);
+            const petri::Marking mb = unf::marking_of(prefix, eb);
+            if (ma == mb) return false;  // not a USC conflict
+            BitVec core = ea;
+            core ^= eb;
+            if (seen.insert(core.to_string()).second) {
+                ConflictCore c;
+                c.events = core;
+                c.is_csc = !(stg.out_signals(ma) == stg.out_signals(mb));
+                report.cores.push_back(std::move(c));
+            }
+            // Stop only when the core budget is exhausted.
+            return report.cores.size() >= max_cores;
+        });
+    report.truncated = outcome.found;  // stopped early at max_cores
+    report.stats = outcome.stats;
+
+    report.height.assign(prefix.num_events(), 0);
+    for (const ConflictCore& c : report.cores)
+        c.events.for_each([&](std::size_t e) { ++report.height[e]; });
+    return report;
+}
+
+std::string format_height_map(const CodingProblem& problem,
+                              const ConflictCoreReport& report) {
+    const unf::Prefix& prefix = problem.prefix();
+    std::ostringstream out;
+    out << report.cores.size() << " conflict core(s)"
+        << (report.truncated ? " (truncated)" : "") << "\n";
+    for (unf::EventId e = 0; e < prefix.num_events(); ++e) {
+        if (report.height[e] == 0) continue;
+        out << "  " << prefix.event_name(e) << "  ";
+        for (std::size_t k = 0; k < report.height[e]; ++k) out << '#';
+        out << "  " << report.height[e] << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace stgcc::core

@@ -1,0 +1,47 @@
+// stgcc -- coding-conflict cores on the unfolding prefix.
+//
+// A conflict *core* is the symmetric difference C' ^ C'' of two
+// configurations in USC/CSC conflict: the set of events whose signal
+// changes cancel out between the two execution paths.  Cores are the raw
+// material of conflict resolution (the follow-up work on visualising and
+// resolving coding conflicts aggregates them into a "height map" over the
+// prefix and inserts new internal signals where many cores overlap) --
+// inserting a state-signal transition inside every core destroys exactly
+// these conflicts, as the csc signal does for the VME controller.
+#pragma once
+
+#include <vector>
+
+#include "core/compat_solver.hpp"
+
+namespace stgcc::core {
+
+struct ConflictCore {
+    BitVec events;        ///< prefix events in C' ^ C'' (event-id indexed)
+    bool is_csc = false;  ///< the witnessing pair also differs in Out sets
+};
+
+struct ConflictCoreReport {
+    std::vector<ConflictCore> cores;
+    /// Per prefix event, the number of collected cores containing it (the
+    /// "height map"); events of tall columns are the natural insertion
+    /// points for resolving signals.
+    std::vector<std::size_t> height;
+    /// True when enumeration stopped at max_cores rather than exhausting
+    /// the search space.
+    bool truncated = false;
+    stg::CheckStats stats;
+};
+
+/// Enumerate up to `max_cores` distinct USC-conflict cores of the prefix
+/// (CSC-conflict cores are flagged).  With max_cores large enough and the
+/// result not truncated, an empty core list proves USC.
+[[nodiscard]] ConflictCoreReport collect_conflict_cores(
+    const CodingProblem& problem, std::size_t max_cores = 64,
+    SearchOptions opts = {});
+
+/// Render the height map as per-event lines, e.g. "e7:d+  ####  4".
+[[nodiscard]] std::string format_height_map(const CodingProblem& problem,
+                                            const ConflictCoreReport& report);
+
+}  // namespace stgcc::core

@@ -1,0 +1,59 @@
+// stgcc -- extended reachability analysis on the prefix (paper section 5,
+// and the deadlock-checking lineage of [8] that motivated the approach).
+//
+// All checks run on the unfolding prefix with the ReachSolver; none builds
+// the state graph.  They require a SAFE net (checked exactly on the prefix
+// via unf-level analysis; the deadlock constraints sum preset token counts,
+// which characterises enabledness only for safe nets).
+#pragma once
+
+#include <optional>
+
+#include "core/coding_problem.hpp"
+#include "stg/results.hpp"
+
+namespace stgcc::core {
+
+struct ExtendedCheckOptions {
+    std::size_t max_nodes = 500'000'000;
+};
+
+/// Result of a single-configuration search: the witness marking and an
+/// execution path leading to it.
+struct ReachabilityWitness {
+    petri::Marking marking;
+    std::vector<petri::TransitionId> trace;
+};
+
+struct ReachabilityResult {
+    bool found = false;
+    std::optional<ReachabilityWitness> witness;
+    stg::CheckStats stats;
+};
+
+/// Is there a reachable deadlock (a marking enabling no transition)?
+/// Rendered as one linear constraint per transition t:
+///   sum_{s in *t} M(s) <= |*t| - 1.
+[[nodiscard]] ReachabilityResult check_deadlock(const CodingProblem& problem,
+                                                ExtendedCheckOptions opts = {});
+
+/// Is the given marking reachable?  Rendered as M(s) = m(s) for every s.
+[[nodiscard]] ReachabilityResult check_reachable(const CodingProblem& problem,
+                                                 const petri::Marking& target,
+                                                 ExtendedCheckOptions opts = {});
+
+/// Is some marking with M(s) >= target(s) for all s reachable (coverability)?
+[[nodiscard]] ReachabilityResult check_coverable(const CodingProblem& problem,
+                                                 const petri::Marking& target,
+                                                 ExtendedCheckOptions opts = {});
+
+}  // namespace stgcc::core
+
+namespace stgcc::unf {
+
+/// Exact safety check on a complete prefix: the net system is safe iff no
+/// two conditions with the same original place can be marked together,
+/// i.e. no such pair is concurrent.
+[[nodiscard]] bool is_safe(const Prefix& prefix);
+
+}  // namespace stgcc::unf

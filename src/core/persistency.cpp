@@ -1,0 +1,103 @@
+#include "core/persistency.hpp"
+
+#include <set>
+
+#include "unfolding/configuration.hpp"
+#include "util/stopwatch.hpp"
+
+namespace stgcc::core {
+
+namespace {
+
+/// Signal-level disabling test: at marking m (which enables both t_out and
+/// t_other), does firing t_other remove the enabling of t_out's signal?
+bool disables_signal(const stg::Stg& stg, const petri::Marking& m,
+                     petri::TransitionId t_out, petri::TransitionId t_other) {
+    const stg::SignalId z = stg.label(t_out).signal;
+    if (stg.label(t_other).signal == z) return false;  // same-signal race
+    const petri::Marking after = stg.system().fire(m, t_other);
+    return !stg.signal_enabled(after, z);
+}
+
+}  // namespace
+
+PersistencyResult check_persistency(const CodingProblem& problem) {
+    Stopwatch timer;
+    PersistencyResult result;
+    const unf::Prefix& prefix = problem.prefix();
+    const stg::Stg& stg = problem.stg();
+
+    std::set<std::pair<unf::EventId, unf::EventId>> seen;
+    for (unf::ConditionId b = 0;
+         b < prefix.num_conditions() && result.persistent; ++b) {
+        const auto& consumers = prefix.condition(b).consumers;
+        for (std::size_t i = 0; i < consumers.size() && result.persistent; ++i) {
+            for (std::size_t j = 0; j < consumers.size(); ++j) {
+                if (i == j) continue;
+                const unf::EventId e = consumers[i];  // the disabled event
+                const unf::EventId f = consumers[j];  // the disabler
+                if (!seen.insert({e, f}).second) continue;
+                const petri::TransitionId te = prefix.event(e).transition;
+                const petri::TransitionId tf = prefix.event(f).transition;
+                if (!is_circuit_driven(
+                        stg.signal_kind(stg.label(te).signal)))
+                    continue;
+                // Joint environment: both presets marked simultaneously?
+                BitVec cfg = prefix.local_config(e);
+                cfg |= prefix.local_config(f);
+                cfg.reset(e);
+                cfg.reset(f);
+                if (!unf::is_configuration(prefix, cfg)) continue;
+                ++result.stats.leaves;
+                const petri::Marking m = unf::marking_of(prefix, cfg);
+                STGCC_ASSERT(stg.system().enabled(m, te));
+                STGCC_ASSERT(stg.system().enabled(m, tf));
+                if (disables_signal(stg, m, te, tf)) {
+                    result.persistent = false;
+                    PersistencyViolation v;
+                    v.output = te;
+                    v.disabler = tf;
+                    v.marking = m;
+                    v.trace = unf::firing_sequence_of(prefix, cfg);
+                    result.violation = std::move(v);
+                    break;
+                }
+            }
+        }
+    }
+    result.stats.seconds = timer.seconds();
+    return result;
+}
+
+PersistencyResult check_persistency_sg(const stg::StateGraph& sg) {
+    Stopwatch timer;
+    PersistencyResult result;
+    result.stats.states = sg.num_states();
+    const stg::Stg& stg = sg.stg();
+    for (petri::StateId s = 0; s < sg.num_states() && result.persistent; ++s) {
+        const petri::Marking& m = sg.graph().marking(s);
+        const auto enabled = stg.system().enabled_transitions(m);
+        for (petri::TransitionId te : enabled) {
+            if (!is_circuit_driven(stg.signal_kind(stg.label(te).signal)))
+                continue;
+            for (petri::TransitionId tf : enabled) {
+                if (te == tf) continue;
+                if (disables_signal(stg, m, te, tf)) {
+                    result.persistent = false;
+                    PersistencyViolation v;
+                    v.output = te;
+                    v.disabler = tf;
+                    v.marking = m;
+                    v.trace = sg.graph().path_to(s);
+                    result.violation = std::move(v);
+                    break;
+                }
+            }
+            if (!result.persistent) break;
+        }
+    }
+    result.stats.seconds = timer.seconds();
+    return result;
+}
+
+}  // namespace stgcc::core

@@ -1,0 +1,47 @@
+// stgcc -- output persistency checking.
+//
+// A further implementability condition for speed-independent circuits
+// (alongside consistency and CSC): an enabled *output* transition must not
+// be disabled by the firing of any other transition -- an output that loses
+// its enabling mid-flight glitches in silicon.  Input transitions may be
+// disabled (the environment arbitrates), so e.g. the token-ring's
+// req/skip choice is fine while a gnt/gnt conflict is not.
+//
+// Two engines:
+//  * check_persistency_sg(): ground truth on the state graph;
+//  * check_persistency(): on the unfolding prefix -- a violation shows up
+//    as two events in *direct* conflict (sharing a precondition) whose
+//    joint environment [e) u [f) is conflict-free, i.e. a reachable marking
+//    enables both; if one of them drives an output of a different signal,
+//    that output is non-persistent.  Complete prefixes represent every
+//    reachable marking and enabled transition, so this is exact.
+#pragma once
+
+#include <optional>
+
+#include "core/coding_problem.hpp"
+#include "stg/results.hpp"
+#include "stg/state_graph.hpp"
+
+namespace stgcc::core {
+
+struct PersistencyViolation {
+    petri::TransitionId output;    ///< the output transition that is disabled
+    petri::TransitionId disabler;  ///< the transition whose firing disables it
+    petri::Marking marking;        ///< marking where both are enabled
+    std::vector<petri::TransitionId> trace;  ///< path from M0 to the marking
+};
+
+struct PersistencyResult {
+    bool persistent = true;
+    std::optional<PersistencyViolation> violation;
+    stg::CheckStats stats;
+};
+
+/// Prefix-based check (no state graph).
+[[nodiscard]] PersistencyResult check_persistency(const CodingProblem& problem);
+
+/// State-based ground truth.
+[[nodiscard]] PersistencyResult check_persistency_sg(const stg::StateGraph& sg);
+
+}  // namespace stgcc::core

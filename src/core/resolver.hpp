@@ -1,0 +1,59 @@
+// stgcc -- search-based automatic CSC resolution.
+//
+// The paper is step (a) of the synthesis flow; step (b) repairs a
+// specification whose CSC check failed, classically by inserting internal
+// state signals (the paper's Fig. 3 shows the manual result for the VME
+// controller).  This resolver automates the common cases with a
+// generate-and-verify loop built entirely on the library's own machinery:
+//
+//   1. collect USC/CSC conflict cores on the prefix (conflict_cores.hpp);
+//   2. for every ordered pair (t1, t2) of transitions occurring in a core,
+//      propose the candidate "insert cscK+ in series after t1 and cscK- in
+//      series after t2";
+//   3. keep a candidate only if the result is consistent, safe, deadlock-
+//      free and has strictly fewer conflict cores; prefer candidates that
+//      resolve CSC outright;
+//   4. repeat with a fresh signal until CSC holds or the budget runs out.
+//
+// Correct-by-verification: every accepted insertion is re-checked with the
+// same checkers a user would run, and series insertions are behaviour-
+// preserving up to internal delay (hiding the new signal and contracting
+// recovers the original STG -- see insertion.hpp and the tests).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stg/stg.hpp"
+
+namespace stgcc::core {
+
+struct ResolveOptions {
+    int max_signals = 4;          ///< give up after this many insertions
+    std::size_t max_cores = 16;   ///< cores collected per round
+    std::size_t max_candidates = 6000;  ///< candidate pairs tried per round
+    /// When true, repair every USC conflict (needed e.g. for state-based
+    /// timing analysis); by default only CSC conflicts (what logic
+    /// synthesis requires) are targeted.
+    bool target_usc = false;
+};
+
+struct ResolutionStep {
+    std::string signal;           ///< inserted signal name (e.g. "csc0")
+    std::string rising_after;     ///< transition preceding csc+
+    std::string falling_after;    ///< transition preceding csc-
+};
+
+struct ResolutionResult {
+    bool resolved = false;        ///< CSC holds on the result
+    stg::Stg stg;                 ///< the (partially) repaired STG
+    std::vector<ResolutionStep> steps;
+};
+
+/// Attempt to repair the STG's CSC violations by inserting internal
+/// signals.  The input must be consistent, dummy-free and safe.
+[[nodiscard]] ResolutionResult resolve_csc(const stg::Stg& input,
+                                           ResolveOptions opts = {});
+
+}  // namespace stgcc::core

@@ -1,0 +1,146 @@
+#include "core/verifier.hpp"
+
+#include <sstream>
+
+#include "core/extended_checks.hpp"
+#include "core/persistency.hpp"
+#include "stg/contraction.hpp"
+
+namespace stgcc::core {
+
+VerificationReport verify_stg(const stg::Stg& input, VerifyOptions opts) {
+    VerificationReport report;
+    if (opts.contract_dummies && input.has_dummies()) {
+        auto result = stg::contract_dummies(input);
+        report.dummies_contracted = result.contracted;
+        report.contracted_stg = std::move(result.stg);
+    }
+    const stg::Stg& stg = report.contracted_stg ? *report.contracted_stg : input;
+    unf::Prefix prefix = unf::unfold(stg.system(), opts.unfold);
+    report.prefix.conditions = prefix.num_conditions();
+    report.prefix.events = prefix.num_events();
+    report.prefix.cutoffs = prefix.num_cutoffs();
+
+    const auto consistency = unf::analyze_consistency(stg, prefix);
+    report.consistent = consistency.consistent;
+    report.inconsistency_reason = consistency.reason;
+    if (!consistency.consistent) return report;
+    report.initial_code = consistency.initial_code;
+
+    UnfoldingChecker checker(stg, std::move(prefix));
+    report.usc = checker.check_usc(opts.search);
+    report.csc = checker.check_csc(opts.search);
+    if (opts.check_normalcy) {
+        report.normalcy = checker.check_normalcy(opts.search);
+        report.normalcy_checked = true;
+    }
+    if (opts.check_deadlock) {
+        report.deadlock_checked = true;
+        auto deadlock = check_deadlock(checker.problem());
+        report.deadlock_free = !deadlock.found;
+        if (deadlock.found) report.deadlock_trace = deadlock.witness->trace;
+    }
+    if (opts.check_persistency) {
+        report.persistency_checked = true;
+        auto persistency = check_persistency(checker.problem());
+        report.persistent = persistency.persistent;
+        if (!persistency.persistent) {
+            const auto& v = *persistency.violation;
+            report.persistency_note =
+                "output " + stg.net().transition_name(v.output) +
+                " disabled by " + stg.net().transition_name(v.disabler) +
+                " via: " + stg.sequence_text(v.trace);
+        }
+    }
+    return report;
+}
+
+namespace {
+
+std::string signal_set_text(const stg::Stg& stg, const BitVec& set) {
+    std::string out = "{";
+    bool first = true;
+    set.for_each([&](std::size_t z) {
+        if (!first) out += ", ";
+        first = false;
+        out += stg.signal_name(static_cast<stg::SignalId>(z));
+    });
+    return out + "}";
+}
+
+}  // namespace
+
+std::string format_witness(const stg::Stg& stg,
+                           const stg::ConflictWitness& witness) {
+    std::ostringstream out;
+    out << "  shared code: " << witness.code.to_string() << "\n"
+        << "  M'  = " << witness.m1.to_string(stg.net())
+        << "  Out = " << signal_set_text(stg, witness.out1) << "\n"
+        << "    via: " << stg.sequence_text(witness.trace1) << "\n"
+        << "  M'' = " << witness.m2.to_string(stg.net())
+        << "  Out = " << signal_set_text(stg, witness.out2) << "\n"
+        << "    via: " << stg.sequence_text(witness.trace2) << "\n";
+    return out.str();
+}
+
+std::string format_normalcy_witness(const stg::Stg& stg,
+                                    const stg::NormalcyWitness& w) {
+    std::ostringstream out;
+    out << "  signal " << stg.signal_name(w.signal) << ":\n"
+        << "  Code(M')  = " << w.code1.to_string() << "  Nxt = " << w.nxt1
+        << "  via: " << stg.sequence_text(w.trace1) << "\n"
+        << "  Code(M'') = " << w.code2.to_string() << "  Nxt = " << w.nxt2
+        << "  via: " << stg.sequence_text(w.trace2) << "\n";
+    return out.str();
+}
+
+std::string format_report(const stg::Stg& input, const VerificationReport& r) {
+    std::ostringstream out;
+    // Witness traces refer to the STG the checks ran on (post-contraction).
+    const stg::Stg& stg = r.contracted_stg ? *r.contracted_stg : input;
+    const petri::Net& net = stg.net();
+    out << "STG '" << stg.name() << "': |S|=" << net.num_places()
+        << " |T|=" << net.num_transitions() << " |Z|=" << stg.num_signals()
+        << "\n";
+    if (r.dummies_contracted > 0)
+        out << "dummies contracted: " << r.dummies_contracted << "\n";
+    out << "prefix: |B|=" << r.prefix.conditions << " |E|=" << r.prefix.events
+        << " |E_cut|=" << r.prefix.cutoffs << "\n";
+    if (!r.consistent) {
+        out << "consistency: FAILED (" << r.inconsistency_reason << ")\n";
+        return out.str();
+    }
+    out << "consistency: ok, v0 = " << r.initial_code.to_string() << "\n";
+    out << "USC: " << (r.usc.holds ? "holds" : "VIOLATED") << "\n";
+    if (r.usc.witness) out << format_witness(stg, *r.usc.witness);
+    out << "CSC: " << (r.csc.holds ? "holds" : "VIOLATED") << "\n";
+    if (r.csc.witness) out << format_witness(stg, *r.csc.witness);
+    if (r.deadlock_checked)
+        out << "deadlock: " << (r.deadlock_free ? "none" : "REACHABLE") << "\n";
+    if (r.persistency_checked) {
+        out << "output persistency: " << (r.persistent ? "holds" : "VIOLATED")
+            << "\n";
+        if (!r.persistent) out << "  " << r.persistency_note << "\n";
+    }
+    if (r.normalcy_checked) {
+        out << "normalcy: " << (r.normalcy.normal ? "holds" : "VIOLATED") << "\n";
+        for (const auto& sn : r.normalcy.per_signal) {
+            out << "  " << stg.signal_name(sn.signal) << ": "
+                << (sn.normal()
+                        ? (sn.p_normal && sn.n_normal ? "p-normal and n-normal"
+                           : sn.p_normal              ? "p-normal"
+                                                      : "n-normal")
+                        : "NOT normal")
+                << "\n";
+            if (!sn.normal()) {
+                if (sn.p_violation)
+                    out << format_normalcy_witness(stg, *sn.p_violation);
+                if (sn.n_violation)
+                    out << format_normalcy_witness(stg, *sn.n_violation);
+            }
+        }
+    }
+    return out.str();
+}
+
+}  // namespace stgcc::core

@@ -1,0 +1,73 @@
+// stgcc -- one-call verification facade and report formatting.
+//
+// Runs the full pipeline of the paper on an STG: build the complete prefix,
+// check consistency, then USC, CSC and (optionally) normalcy with the
+// unfolding + integer-programming method, returning witnesses for every
+// violated property.
+#pragma once
+
+#include <string>
+
+#include "core/checkers.hpp"
+
+namespace stgcc::core {
+
+struct VerifyOptions {
+    unf::UnfoldOptions unfold;
+    SearchOptions search;
+    bool check_normalcy = true;
+    /// Securely contract dummy transitions before checking (the checkers
+    /// themselves require dummy-free STGs).  Dummies that resist secure
+    /// contraction still cause a ModelError.
+    bool contract_dummies = false;
+    /// Also run the section 5 deadlock check.
+    bool check_deadlock = false;
+    /// Also check output persistency (speed-independence precondition).
+    bool check_persistency = false;
+};
+
+struct PrefixStats {
+    std::size_t conditions = 0;  ///< |B|
+    std::size_t events = 0;      ///< |E|
+    std::size_t cutoffs = 0;     ///< |E_cut|
+};
+
+struct VerificationReport {
+    PrefixStats prefix;
+    bool consistent = true;
+    std::string inconsistency_reason;
+    stg::Code initial_code;
+    stg::CodingCheckResult usc;
+    stg::CodingCheckResult csc;
+    stg::NormalcyResult normalcy;
+    bool normalcy_checked = false;
+    std::size_t dummies_contracted = 0;
+    /// When dummies were contracted, the STG the checks actually ran on;
+    /// all witness traces and transition ids in this report refer to it.
+    std::optional<stg::Stg> contracted_stg;
+    bool deadlock_checked = false;
+    bool deadlock_free = true;
+    std::vector<petri::TransitionId> deadlock_trace;  ///< w.r.t. checked STG
+    bool persistency_checked = false;
+    bool persistent = true;
+    std::string persistency_note;  ///< which output / disabler, when violated
+};
+
+/// Run the whole pipeline.  Inconsistent STGs short-circuit (USC/CSC/
+/// normalcy are left at their defaults, consistent == false).
+[[nodiscard]] VerificationReport verify_stg(const stg::Stg& stg,
+                                            VerifyOptions opts = {});
+
+/// Multi-line human-readable report (used by the examples and the CLI).
+[[nodiscard]] std::string format_report(const stg::Stg& stg,
+                                        const VerificationReport& report);
+
+/// Render a conflict witness as two labelled firing sequences.
+[[nodiscard]] std::string format_witness(const stg::Stg& stg,
+                                         const stg::ConflictWitness& witness);
+
+/// Render a normalcy violation witness.
+[[nodiscard]] std::string format_normalcy_witness(const stg::Stg& stg,
+                                                  const stg::NormalcyWitness& w);
+
+}  // namespace stgcc::core

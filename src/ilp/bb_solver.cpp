@@ -1,0 +1,159 @@
+#include "ilp/bb_solver.hpp"
+
+#include <algorithm>
+
+namespace stgcc::ilp {
+
+std::optional<std::vector<int>> BBSolver::solve(const LeafCallback& leaf) {
+    const std::size_t n = model_->num_vars();
+    lo_.resize(n);
+    hi_.resize(n);
+    for (VarId v = 0; v < n; ++v) {
+        lo_[v] = model_->lower_bound(v);
+        hi_[v] = model_->upper_bound(v);
+    }
+    trail_.clear();
+    stats_ = SolveStats{};
+
+    // Initial propagation over all constraints.
+    dirty_.clear();
+    in_dirty_.assign(model_->num_constraints(), 1);
+    for (std::uint32_t i = 0; i < model_->num_constraints(); ++i) dirty_.push_back(i);
+    if (!propagate(0)) return std::nullopt;
+
+    bool accepted = false;
+    std::vector<int> out;
+    dfs(leaf, accepted, out);
+    if (accepted) return out;
+    return std::nullopt;
+}
+
+bool BBSolver::tighten(VarId v, int lo, int hi) {
+    const int nlo = std::max(lo_[v], lo);
+    const int nhi = std::min(hi_[v], hi);
+    if (nlo > nhi) return false;
+    if (nlo == lo_[v] && nhi == hi_[v]) return true;
+    trail_.push_back(TrailEntry{v, lo_[v], hi_[v]});
+    lo_[v] = nlo;
+    hi_[v] = nhi;
+    ++stats_.propagations;
+    for (std::uint32_t ci : model_->constraints_of(v)) {
+        if (!in_dirty_[ci]) {
+            in_dirty_[ci] = 1;
+            dirty_.push_back(ci);
+        }
+    }
+    return true;
+}
+
+bool BBSolver::propagate_constraint(const Constraint& c) {
+    // Interval of the LHS under current bounds.
+    long long min_sum = 0, max_sum = 0;
+    for (const Term& t : c.terms) {
+        if (t.coef > 0) {
+            min_sum += static_cast<long long>(t.coef) * lo_[t.var];
+            max_sum += static_cast<long long>(t.coef) * hi_[t.var];
+        } else {
+            min_sum += static_cast<long long>(t.coef) * hi_[t.var];
+            max_sum += static_cast<long long>(t.coef) * lo_[t.var];
+        }
+    }
+    if (c.lo != kNoBound && max_sum < c.lo) return false;
+    if (c.hi != kNoBound && min_sum > c.hi) return false;
+
+    // Bounds tightening per term.
+    auto div_floor = [](long long p, long long q) {
+        const long long d = p / q, r = p % q;
+        return (r != 0 && ((r < 0) != (q < 0))) ? d - 1 : d;
+    };
+    auto div_ceil = [&](long long p, long long q) { return -div_floor(-p, q); };
+    constexpr long long kInf = std::numeric_limits<long long>::max() / 4;
+
+    for (const Term& t : c.terms) {
+        const long long cmin = t.coef > 0
+                                   ? static_cast<long long>(t.coef) * lo_[t.var]
+                                   : static_cast<long long>(t.coef) * hi_[t.var];
+        const long long cmax = t.coef > 0
+                                   ? static_cast<long long>(t.coef) * hi_[t.var]
+                                   : static_cast<long long>(t.coef) * lo_[t.var];
+        const long long rest_min = min_sum - cmin;
+        const long long rest_max = max_sum - cmax;
+        // c.lo <= coef*x + rest <= c.hi  =>  bounds on coef*x.
+        const long long term_lo = c.lo == kNoBound ? -kInf : c.lo - rest_max;
+        const long long term_hi = c.hi == kNoBound ? kInf : c.hi - rest_min;
+        long long xlo, xhi;
+        if (t.coef > 0) {
+            xlo = div_ceil(term_lo, t.coef);
+            xhi = div_floor(term_hi, t.coef);
+        } else {
+            xlo = div_ceil(term_hi, t.coef);
+            xhi = div_floor(term_lo, t.coef);
+        }
+        const int vlo = static_cast<int>(std::max<long long>(lo_[t.var], xlo));
+        const int vhi = static_cast<int>(std::min<long long>(hi_[t.var], xhi));
+        if (!tighten(t.var, vlo, vhi)) return false;
+    }
+    return true;
+}
+
+bool BBSolver::propagate(std::size_t) {
+    while (!dirty_.empty()) {
+        const std::uint32_t ci = dirty_.back();
+        dirty_.pop_back();
+        in_dirty_[ci] = 0;
+        if (!propagate_constraint(model_->constraint(ci))) {
+            // Clear the dirty queue so the next propagation starts clean.
+            for (std::uint32_t cj : dirty_) in_dirty_[cj] = 0;
+            dirty_.clear();
+            return false;
+        }
+    }
+    return true;
+}
+
+void BBSolver::undo_to(std::size_t mark) {
+    while (trail_.size() > mark) {
+        const TrailEntry& e = trail_.back();
+        lo_[e.var] = e.old_lo;
+        hi_[e.var] = e.old_hi;
+        trail_.pop_back();
+    }
+}
+
+bool BBSolver::dfs(const LeafCallback& leaf, bool& accepted, std::vector<int>& out) {
+    if (stats_.nodes >= opts_.max_nodes) {
+        stats_.aborted = true;
+        return true;  // unwind
+    }
+    // First unfixed variable.
+    VarId branch = static_cast<VarId>(model_->num_vars());
+    for (VarId v = 0; v < model_->num_vars(); ++v)
+        if (lo_[v] < hi_[v]) {
+            branch = v;
+            break;
+        }
+    if (branch == model_->num_vars()) {
+        ++stats_.leaves;
+        std::vector<int> assignment(lo_.begin(), lo_.end());
+        if (leaf(assignment)) {
+            accepted = true;
+            out = std::move(assignment);
+            return true;
+        }
+        return false;
+    }
+    ++stats_.nodes;
+    for (int v = lo_[branch]; v <= hi_[branch]; ++v) {
+        const std::size_t mark = trail_.size();
+        if (tighten(branch, v, v) && propagate(0)) {
+            if (dfs(leaf, accepted, out)) return true;
+        } else {
+            for (std::uint32_t cj : dirty_) in_dirty_[cj] = 0;
+            dirty_.clear();
+        }
+        undo_to(mark);
+    }
+    return false;
+}
+
+}  // namespace stgcc::ilp

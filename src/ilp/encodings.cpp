@@ -1,0 +1,136 @@
+#include "ilp/encodings.hpp"
+
+#include "unfolding/configuration.hpp"
+#include "unfolding/prefix_checks.hpp"
+#include "util/stopwatch.hpp"
+
+namespace stgcc::ilp {
+
+using unf::ConditionId;
+using unf::EventId;
+using unf::Prefix;
+
+CodingModel build_coding_model(const stg::Stg& stg, const Prefix& prefix) {
+    stg.require_dummy_free();
+    CodingModel cm;
+    const std::size_t q = prefix.num_events();
+    cm.xa.reserve(q);
+    cm.xb.reserve(q);
+    for (EventId e = 0; e < q; ++e) {
+        // Cut-off constraint (paper eq. 3): pin cut-off variables to 0.
+        const int ub = prefix.event(e).cutoff ? 0 : 1;
+        cm.xa.push_back(cm.model.add_var(0, ub, "xa_" + std::to_string(e)));
+    }
+    for (EventId e = 0; e < q; ++e) {
+        const int ub = prefix.event(e).cutoff ? 0 : 1;
+        cm.xb.push_back(cm.model.add_var(0, ub, "xb_" + std::to_string(e)));
+    }
+
+    // Compatibility constraints: M_in(b) + x(producer) - sum consumers >= 0,
+    // once per condition and per side.  On the acyclic prefix these exactly
+    // characterise Parikh vectors of configurations (paper, section 3).
+    auto add_compat = [&](const std::vector<VarId>& x, const char* side) {
+        for (ConditionId b = 0; b < prefix.num_conditions(); ++b) {
+            const unf::Condition& cond = prefix.condition(b);
+            std::vector<Term> terms;
+            int initial = 0;
+            if (cond.producer == unf::kNoEvent)
+                initial = 1;
+            else
+                terms.push_back(Term{x[cond.producer], 1});
+            for (EventId f : cond.consumers) terms.push_back(Term{x[f], -1});
+            if (terms.empty()) continue;
+            cm.model.add_ge(std::move(terms), -initial,
+                            std::string("compat_") + side + "_b" + std::to_string(b));
+        }
+    };
+    add_compat(cm.xa, "a");
+    add_compat(cm.xb, "b");
+
+    // Conflict constraints (paper eq. 2): Code(x') = Code(x''), one equation
+    // per signal; the initial code v0 cancels out.
+    for (stg::SignalId z = 0; z < stg.num_signals(); ++z) {
+        std::vector<Term> terms;
+        for (EventId e = 0; e < q; ++e) {
+            const stg::Label l = stg.label(prefix.event(e).transition);
+            if (l.signal != z) continue;
+            terms.push_back(Term{cm.xa[e], l.delta()});
+            terms.push_back(Term{cm.xb[e], -l.delta()});
+        }
+        if (!terms.empty())
+            cm.model.add_eq(std::move(terms), 0, "code_" + stg.signal_name(z));
+    }
+    return cm;
+}
+
+namespace {
+
+stg::CodingCheckResult run_generic(const stg::Stg& stg, const Prefix& prefix,
+                                   GenericCheckOptions opts, bool csc) {
+    Stopwatch timer;
+    CodingModel cm = build_coding_model(stg, prefix);
+    BBSolver solver(cm.model, SolveOptions{opts.max_nodes});
+
+    const std::size_t q = prefix.num_events();
+    BitVec ca, cb;
+    auto decode = [&](const std::vector<int>& assignment) {
+        ca = prefix.make_event_set();
+        cb = prefix.make_event_set();
+        for (EventId e = 0; e < q; ++e) {
+            if (assignment[cm.xa[e]]) ca.set(e);
+            if (assignment[cm.xb[e]]) cb.set(e);
+        }
+    };
+
+    auto leaf = [&](const std::vector<int>& assignment) {
+        decode(assignment);
+        const petri::Marking ma = unf::marking_of(prefix, ca);
+        const petri::Marking mb = unf::marking_of(prefix, cb);
+        if (ma == mb) return false;  // separating constraint
+        if (!csc) return true;
+        return !(stg.out_signals(ma) == stg.out_signals(mb));
+    };
+
+    auto solution = solver.solve(leaf);
+    if (solver.stats().aborted)
+        throw ModelError("generic ILP solver hit its node limit (" +
+                         std::to_string(opts.max_nodes) +
+                         " nodes); result would be unsound");
+
+    stg::CodingCheckResult result;
+    result.stats.search_nodes = solver.stats().nodes;
+    result.stats.leaves = solver.stats().leaves;
+    if (solution) {
+        decode(*solution);
+        result.holds = false;
+        stg::ConflictWitness w;
+        w.m1 = unf::marking_of(prefix, ca);
+        w.m2 = unf::marking_of(prefix, cb);
+        w.out1 = stg.out_signals(w.m1);
+        w.out2 = stg.out_signals(w.m2);
+        w.trace1 = unf::firing_sequence_of(prefix, ca);
+        w.trace2 = unf::firing_sequence_of(prefix, cb);
+        // Code of the witness states: v0 plus the change vector of C'.
+        w.code = unf::analyze_consistency(stg, prefix).initial_code;
+        const auto v = unf::change_vector_of(stg, prefix, ca);
+        for (stg::SignalId z = 0; z < stg.num_signals(); ++z)
+            if (v[z] != 0) w.code.assign_bit(z, !w.code.test(z));
+        result.witness = std::move(w);
+    }
+    result.stats.seconds = timer.seconds();
+    return result;
+}
+
+}  // namespace
+
+stg::CodingCheckResult check_usc_generic(const stg::Stg& stg, const Prefix& prefix,
+                                         GenericCheckOptions opts) {
+    return run_generic(stg, prefix, opts, /*csc=*/false);
+}
+
+stg::CodingCheckResult check_csc_generic(const stg::Stg& stg, const Prefix& prefix,
+                                         GenericCheckOptions opts) {
+    return run_generic(stg, prefix, opts, /*csc=*/true);
+}
+
+}  // namespace stgcc::ilp

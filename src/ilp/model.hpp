@@ -1,0 +1,79 @@
+// stgcc -- a small integer-programming model representation.
+//
+// Holds bounded integer variables and two-sided linear constraints
+//   lo <= sum(coef_i * x_i) <= hi.
+// Used by the generic branch-and-bound solver (bb_solver) that plays the
+// role of the paper's "standard solvers" strawman: it knows nothing about
+// the partial-order structure of the unfolding.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace stgcc::ilp {
+
+using VarId = std::uint32_t;
+
+inline constexpr int kNoBound = std::numeric_limits<int>::min();
+
+struct Term {
+    VarId var;
+    int coef;
+};
+
+struct Constraint {
+    std::vector<Term> terms;
+    int lo;  ///< lower bound, or kNoBound for none
+    int hi;  ///< upper bound, or kNoBound for none
+    std::string name;
+};
+
+class Model {
+public:
+    /// Add an integer variable with inclusive bounds [lo, hi].
+    VarId add_var(int lo, int hi, std::string name = {});
+
+    /// Add constraint lo <= terms <= hi; pass kNoBound to drop a side.
+    void add_constraint(std::vector<Term> terms, int lo, int hi,
+                        std::string name = {});
+
+    /// Convenience: terms == rhs.
+    void add_eq(std::vector<Term> terms, int rhs, std::string name = {}) {
+        add_constraint(std::move(terms), rhs, rhs, std::move(name));
+    }
+    /// Convenience: terms >= rhs.
+    void add_ge(std::vector<Term> terms, int rhs, std::string name = {}) {
+        add_constraint(std::move(terms), rhs, kNoBound, std::move(name));
+    }
+    /// Convenience: terms <= rhs.
+    void add_le(std::vector<Term> terms, int rhs, std::string name = {}) {
+        add_constraint(std::move(terms), kNoBound, rhs, std::move(name));
+    }
+
+    [[nodiscard]] std::size_t num_vars() const noexcept { return lower_.size(); }
+    [[nodiscard]] std::size_t num_constraints() const noexcept {
+        return constraints_.size();
+    }
+    [[nodiscard]] int lower_bound(VarId v) const { return lower_[v]; }
+    [[nodiscard]] int upper_bound(VarId v) const { return upper_[v]; }
+    [[nodiscard]] const std::string& var_name(VarId v) const { return names_[v]; }
+    [[nodiscard]] const Constraint& constraint(std::size_t i) const {
+        return constraints_[i];
+    }
+    /// Indices of constraints mentioning variable v.
+    [[nodiscard]] const std::vector<std::uint32_t>& constraints_of(VarId v) const {
+        return by_var_[v];
+    }
+
+private:
+    std::vector<int> lower_, upper_;
+    std::vector<std::string> names_;
+    std::vector<Constraint> constraints_;
+    std::vector<std::vector<std::uint32_t>> by_var_;
+};
+
+}  // namespace stgcc::ilp

@@ -1,0 +1,184 @@
+#include "petri/invariants.hpp"
+
+#include <numeric>
+
+namespace stgcc::petri {
+
+namespace {
+
+/// Exact rational with long long components (entries here stay tiny: the
+/// incidence matrix is over {-1,0,1} and nets have at most a few hundred
+/// nodes).
+struct Rational {
+    long long num = 0;
+    long long den = 1;
+
+    void normalize() {
+        if (den < 0) {
+            num = -num;
+            den = -den;
+        }
+        const long long g = std::gcd(num < 0 ? -num : num, den);
+        if (g > 1) {
+            num /= g;
+            den /= g;
+        }
+        if (num == 0) den = 1;
+    }
+    friend Rational operator*(Rational a, Rational b) {
+        Rational r{a.num * b.num, a.den * b.den};
+        r.normalize();
+        return r;
+    }
+    friend Rational operator-(Rational a, Rational b) {
+        Rational r{a.num * b.den - b.num * a.den, a.den * b.den};
+        r.normalize();
+        return r;
+    }
+    friend Rational operator/(Rational a, Rational b) {
+        STGCC_REQUIRE(b.num != 0);
+        Rational r{a.num * b.den, a.den * b.num};
+        r.normalize();
+        return r;
+    }
+    [[nodiscard]] bool is_zero() const { return num == 0; }
+};
+
+/// Null-space basis of A x = 0 over the rationals, scaled to primitive
+/// integer vectors.  A is row-major, dimensions rows x cols.
+std::vector<IntVector> null_space(std::vector<std::vector<Rational>> a,
+                                  std::size_t cols) {
+    const std::size_t rows = a.size();
+    std::vector<std::size_t> pivot_col_of_row;
+    std::vector<bool> is_pivot_col(cols, false);
+
+    std::size_t row = 0;
+    for (std::size_t col = 0; col < cols && row < rows; ++col) {
+        // Find a pivot in this column.
+        std::size_t pr = row;
+        while (pr < rows && a[pr][col].is_zero()) ++pr;
+        if (pr == rows) continue;
+        std::swap(a[row], a[pr]);
+        // Normalise the pivot row.
+        const Rational pivot = a[row][col];
+        for (std::size_t c = col; c < cols; ++c) a[row][c] = a[row][c] / pivot;
+        // Eliminate everywhere else.
+        for (std::size_t r = 0; r < rows; ++r) {
+            if (r == row || a[r][col].is_zero()) continue;
+            const Rational factor = a[r][col];
+            for (std::size_t c = col; c < cols; ++c)
+                a[r][c] = a[r][c] - factor * a[row][c];
+        }
+        pivot_col_of_row.push_back(col);
+        is_pivot_col[col] = true;
+        ++row;
+    }
+
+    // One basis vector per free column.
+    std::vector<IntVector> basis;
+    for (std::size_t free_col = 0; free_col < cols; ++free_col) {
+        if (is_pivot_col[free_col]) continue;
+        std::vector<Rational> x(cols);
+        x[free_col] = Rational{1, 1};
+        for (std::size_t r = 0; r < pivot_col_of_row.size(); ++r) {
+            // pivot variable = - sum of free contributions in row r.
+            Rational v = Rational{0, 1} - a[r][free_col];
+            x[pivot_col_of_row[r]] = v;
+        }
+        // Scale to a primitive integer vector.
+        long long lcm = 1;
+        for (const Rational& q : x) lcm = std::lcm(lcm, q.den);
+        IntVector out(cols);
+        long long g = 0;
+        for (std::size_t c = 0; c < cols; ++c) {
+            out[c] = x[c].num * (lcm / x[c].den);
+            g = std::gcd(g, out[c] < 0 ? -out[c] : out[c]);
+        }
+        if (g > 1)
+            for (auto& v : out) v /= g;
+        basis.push_back(std::move(out));
+    }
+    return basis;
+}
+
+std::vector<std::vector<Rational>> incidence_matrix(const Net& net,
+                                                    bool transposed) {
+    const std::size_t m = net.num_places();
+    const std::size_t n = net.num_transitions();
+    std::vector<std::vector<Rational>> a(
+        transposed ? n : m,
+        std::vector<Rational>(transposed ? m : n));
+    for (PlaceId p = 0; p < m; ++p)
+        for (TransitionId t = 0; t < n; ++t) {
+            const int v = net.incidence(p, t);
+            if (v == 0) continue;
+            if (transposed)
+                a[t][p] = Rational{v, 1};
+            else
+                a[p][t] = Rational{v, 1};
+        }
+    return a;
+}
+
+}  // namespace
+
+std::vector<IntVector> place_invariants(const Net& net) {
+    // y^T I = 0  <=>  I^T y = 0.
+    return null_space(incidence_matrix(net, /*transposed=*/true),
+                      net.num_places());
+}
+
+std::vector<IntVector> transition_invariants(const Net& net) {
+    return null_space(incidence_matrix(net, /*transposed=*/false),
+                      net.num_transitions());
+}
+
+long long invariant_value(const IntVector& y, const Marking& m) {
+    STGCC_REQUIRE(y.size() == m.num_places());
+    long long sum = 0;
+    for (std::size_t p = 0; p < y.size(); ++p)
+        sum += y[p] * static_cast<long long>(m[p]);
+    return sum;
+}
+
+bool is_place_invariant(const Net& net, const IntVector& y) {
+    STGCC_REQUIRE(y.size() == net.num_places());
+    for (TransitionId t = 0; t < net.num_transitions(); ++t) {
+        long long sum = 0;
+        for (PlaceId p = 0; p < net.num_places(); ++p)
+            sum += y[p] * net.incidence(p, t);
+        if (sum != 0) return false;
+    }
+    return true;
+}
+
+bool is_transition_invariant(const Net& net, const IntVector& x) {
+    STGCC_REQUIRE(x.size() == net.num_transitions());
+    for (PlaceId p = 0; p < net.num_places(); ++p) {
+        long long sum = 0;
+        for (TransitionId t = 0; t < net.num_transitions(); ++t)
+            sum += x[t] * net.incidence(p, t);
+        if (sum != 0) return false;
+    }
+    return true;
+}
+
+bool covered_by_place_invariants(const Net& net) {
+    const auto basis = place_invariants(net);
+    std::vector<bool> covered(net.num_places(), false);
+    for (const IntVector& y : basis) {
+        for (int sign : {1, -1}) {
+            bool semi_positive = true;
+            for (long long v : y)
+                if (sign * v < 0) semi_positive = false;
+            if (!semi_positive) continue;
+            for (PlaceId p = 0; p < net.num_places(); ++p)
+                if (sign * y[p] > 0) covered[p] = true;
+        }
+    }
+    for (bool c : covered)
+        if (!c) return false;
+    return true;
+}
+
+}  // namespace stgcc::petri

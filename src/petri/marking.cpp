@@ -1,0 +1,25 @@
+#include "petri/marking.hpp"
+
+#include "petri/net.hpp"
+
+namespace stgcc::petri {
+
+std::string Marking::to_string(const Net& net) const {
+    STGCC_REQUIRE(tokens_.size() == net.num_places());
+    std::string out = "{";
+    bool first = true;
+    for (std::size_t p = 0; p < tokens_.size(); ++p) {
+        if (tokens_[p] == 0) continue;
+        if (!first) out += ", ";
+        first = false;
+        if (tokens_[p] > 1) {
+            out += std::to_string(tokens_[p]);
+            out += '*';
+        }
+        out += net.place_name(static_cast<PlaceId>(p));
+    }
+    out += '}';
+    return out;
+}
+
+}  // namespace stgcc::petri

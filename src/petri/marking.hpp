@@ -1,0 +1,90 @@
+// stgcc -- markings (multisets of places).
+//
+// A Marking stores a token count per place, indexed by PlaceId.  For the
+// safe nets that dominate STG practice all counts are 0/1, but the type is
+// general so that boundedness violations can be detected rather than
+// silently miscomputed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+
+namespace stgcc::petri {
+
+class Net;
+
+class Marking {
+public:
+    Marking() = default;
+
+    /// All-zero marking over `num_places` places.
+    explicit Marking(std::size_t num_places) : tokens_(num_places, 0) {}
+
+    [[nodiscard]] std::size_t num_places() const noexcept { return tokens_.size(); }
+
+    [[nodiscard]] std::uint32_t operator[](std::size_t p) const {
+        STGCC_ASSERT(p < tokens_.size());
+        return tokens_[p];
+    }
+
+    void set(std::size_t p, std::uint32_t count) {
+        STGCC_ASSERT(p < tokens_.size());
+        tokens_[p] = count;
+    }
+
+    void add(std::size_t p, std::uint32_t count = 1) {
+        STGCC_ASSERT(p < tokens_.size());
+        tokens_[p] += count;
+    }
+
+    /// Remove `count` tokens; the place must hold at least that many.
+    void remove(std::size_t p, std::uint32_t count = 1) {
+        STGCC_ASSERT(p < tokens_.size());
+        STGCC_REQUIRE(tokens_[p] >= count);
+        tokens_[p] -= count;
+    }
+
+    /// Total number of tokens in the marking.
+    [[nodiscard]] std::size_t total_tokens() const noexcept {
+        std::size_t n = 0;
+        for (auto c : tokens_) n += c;
+        return n;
+    }
+
+    /// Largest per-place token count (0 for the empty marking).
+    [[nodiscard]] std::uint32_t max_tokens() const noexcept {
+        std::uint32_t m = 0;
+        for (auto c : tokens_) m = c > m ? c : m;
+        return m;
+    }
+
+    friend bool operator==(const Marking& a, const Marking& b) {
+        return a.tokens_ == b.tokens_;
+    }
+
+    /// Lexicographic order on the token-count vector; this is the order the
+    /// paper's USC separating constraint M' <lex M'' refers to.
+    friend bool operator<(const Marking& a, const Marking& b) {
+        return a.tokens_ < b.tokens_;
+    }
+
+    [[nodiscard]] std::size_t hash() const noexcept {
+        return hash_range(tokens_.begin(), tokens_.end());
+    }
+
+    /// Render as `{p1, p3, 2*p7}` using place names from `net`.
+    [[nodiscard]] std::string to_string(const Net& net) const;
+
+private:
+    std::vector<std::uint32_t> tokens_;
+};
+
+struct MarkingHash {
+    std::size_t operator()(const Marking& m) const noexcept { return m.hash(); }
+};
+
+}  // namespace stgcc::petri

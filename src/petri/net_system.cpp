@@ -1,0 +1,64 @@
+#include "petri/net_system.hpp"
+
+namespace stgcc::petri {
+
+bool NetSystem::enabled(const Marking& m, TransitionId t) const {
+    STGCC_REQUIRE(m.num_places() == net_.num_places());
+    for (PlaceId p : net_.pre(t))
+        if (m[p] == 0) return false;
+    return true;
+}
+
+Marking NetSystem::fire(const Marking& m, TransitionId t) const {
+    STGCC_REQUIRE(enabled(m, t));
+    Marking out = m;
+    for (PlaceId p : net_.pre(t)) out.remove(p);
+    for (PlaceId p : net_.post(t)) out.add(p);
+    return out;
+}
+
+std::vector<TransitionId> NetSystem::enabled_transitions(const Marking& m) const {
+    std::vector<TransitionId> out;
+    for (TransitionId t = 0; t < net_.num_transitions(); ++t)
+        if (enabled(m, t)) out.push_back(t);
+    return out;
+}
+
+std::optional<Marking> NetSystem::fire_sequence(
+    const std::vector<TransitionId>& sequence) const {
+    Marking m = initial_;
+    for (TransitionId t : sequence) {
+        if (!enabled(m, t)) return std::nullopt;
+        m = fire(m, t);
+    }
+    return m;
+}
+
+ParikhVector NetSystem::parikh(const std::vector<TransitionId>& sequence) const {
+    ParikhVector x(net_.num_transitions(), 0);
+    for (TransitionId t : sequence) {
+        STGCC_REQUIRE(t < net_.num_transitions());
+        ++x[t];
+    }
+    return x;
+}
+
+std::optional<Marking> NetSystem::marking_equation(const ParikhVector& x) const {
+    STGCC_REQUIRE(x.size() == net_.num_transitions());
+    // Work in signed arithmetic so under-flows are detected, not wrapped.
+    std::vector<std::int64_t> m(net_.num_places());
+    for (std::size_t p = 0; p < m.size(); ++p) m[p] = initial_[p];
+    for (TransitionId t = 0; t < x.size(); ++t) {
+        if (x[t] == 0) continue;
+        for (PlaceId p : net_.pre(t)) m[p] -= x[t];
+        for (PlaceId p : net_.post(t)) m[p] += x[t];
+    }
+    Marking out(net_.num_places());
+    for (std::size_t p = 0; p < m.size(); ++p) {
+        if (m[p] < 0) return std::nullopt;
+        out.set(p, static_cast<std::uint32_t>(m[p]));
+    }
+    return out;
+}
+
+}  // namespace stgcc::petri

@@ -1,0 +1,60 @@
+// stgcc -- net systems: a net plus its initial marking, with the token game.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "petri/marking.hpp"
+#include "petri/net.hpp"
+
+namespace stgcc::petri {
+
+/// Parikh vector of a transition sequence: per-transition occurrence counts.
+using ParikhVector = std::vector<std::uint32_t>;
+
+class NetSystem {
+public:
+    NetSystem() = default;
+    NetSystem(Net net, Marking initial)
+        : net_(std::move(net)), initial_(std::move(initial)) {
+        STGCC_REQUIRE(initial_.num_places() == net_.num_places());
+    }
+
+    [[nodiscard]] const Net& net() const noexcept { return net_; }
+    [[nodiscard]] Net& net() noexcept { return net_; }
+    [[nodiscard]] const Marking& initial_marking() const noexcept { return initial_; }
+
+    void set_initial_marking(Marking m) {
+        STGCC_REQUIRE(m.num_places() == net_.num_places());
+        initial_ = std::move(m);
+    }
+
+    /// True when t is enabled at m (every preset place holds a token).
+    [[nodiscard]] bool enabled(const Marking& m, TransitionId t) const;
+
+    /// Fire t at m; t must be enabled.
+    [[nodiscard]] Marking fire(const Marking& m, TransitionId t) const;
+
+    /// All transitions enabled at m, in ascending id order.
+    [[nodiscard]] std::vector<TransitionId> enabled_transitions(const Marking& m) const;
+
+    /// Fire the whole sequence starting from the initial marking; returns
+    /// nullopt as soon as a transition is not enabled.
+    [[nodiscard]] std::optional<Marking> fire_sequence(
+        const std::vector<TransitionId>& sequence) const;
+
+    /// Parikh vector of a transition sequence.
+    [[nodiscard]] ParikhVector parikh(const std::vector<TransitionId>& sequence) const;
+
+    /// Evaluate the marking equation M = M0 + I*x for a given Parikh vector.
+    /// Returns nullopt when some intermediate count would be negative, i.e.
+    /// the equation has no solution in markings (note: a defined result does
+    /// NOT by itself imply reachability for cyclic nets; see the paper §2.2).
+    [[nodiscard]] std::optional<Marking> marking_equation(const ParikhVector& x) const;
+
+private:
+    Net net_;
+    Marking initial_;
+};
+
+}  // namespace stgcc::petri

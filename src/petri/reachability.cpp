@@ -1,0 +1,72 @@
+#include "petri/reachability.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace stgcc::petri {
+
+ReachabilityGraph::ReachabilityGraph(const NetSystem& sys, ReachOptions opts)
+    : sys_(&sys) {
+    const Marking& m0 = sys.initial_marking();
+    states_.push_back(m0);
+    index_.emplace(m0, 0);
+    succ_.emplace_back();
+    parent_.push_back(kNoState);
+    parent_edge_.push_back(kNoTransition);
+    bound_ = m0.max_tokens();
+
+    std::deque<StateId> work{0};
+    while (!work.empty()) {
+        const StateId s = work.front();
+        work.pop_front();
+        // states_[s] may be invalidated by push_back below; copy it.
+        const Marking m = states_[s];
+        for (TransitionId t : sys.enabled_transitions(m)) {
+            Marking next = sys.fire(m, t);
+            const std::uint32_t mt = next.max_tokens();
+            if (mt > opts.max_tokens_per_place)
+                throw ModelError("reachability: net exceeds token bound " +
+                                 std::to_string(opts.max_tokens_per_place) +
+                                 " (unbounded?)");
+            auto [it, inserted] =
+                index_.emplace(std::move(next), static_cast<StateId>(states_.size()));
+            if (inserted) {
+                if (states_.size() >= opts.max_states)
+                    throw ModelError("reachability: state limit exceeded (" +
+                                     std::to_string(opts.max_states) + ")");
+                states_.push_back(it->first);
+                succ_.emplace_back();
+                parent_.push_back(s);
+                parent_edge_.push_back(t);
+                work.push_back(it->second);
+                bound_ = std::max(bound_, mt);
+                if (mt > 1) safe_ = false;
+            }
+            succ_[s].push_back(Edge{t, it->second});
+            ++num_edges_;
+        }
+    }
+}
+
+StateId ReachabilityGraph::find(const Marking& m) const {
+    auto it = index_.find(m);
+    return it == index_.end() ? kNoState : it->second;
+}
+
+std::vector<StateId> ReachabilityGraph::deadlocks() const {
+    std::vector<StateId> out;
+    for (StateId s = 0; s < succ_.size(); ++s)
+        if (succ_[s].empty()) out.push_back(s);
+    return out;
+}
+
+std::vector<TransitionId> ReachabilityGraph::path_to(StateId s) const {
+    STGCC_REQUIRE(s < states_.size());
+    std::vector<TransitionId> path;
+    for (StateId cur = s; parent_[cur] != kNoState; cur = parent_[cur])
+        path.push_back(parent_edge_[cur]);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+}  // namespace stgcc::petri

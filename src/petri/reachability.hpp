@@ -1,0 +1,80 @@
+// stgcc -- explicit reachability graph construction.
+//
+// This is the state-space substrate used by (a) the Petrify-style
+// state-based baseline checkers, and (b) cross-checking properties of the
+// unfolding prefix in tests.  States are interned markings; a BFS parent
+// pointer per state allows extraction of firing sequences (witness paths).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "petri/net_system.hpp"
+
+namespace stgcc::petri {
+
+using StateId = std::uint32_t;
+inline constexpr StateId kNoState = static_cast<StateId>(-1);
+
+struct ReachOptions {
+    /// Abort with ModelError once this many states have been generated.
+    std::size_t max_states = 10'000'000;
+    /// Abort with ModelError when a place accumulates more than this many
+    /// tokens (catches unbounded nets early).
+    std::uint32_t max_tokens_per_place = 64;
+};
+
+class ReachabilityGraph {
+public:
+    /// Explore the full reachable state space of `sys` by BFS.
+    explicit ReachabilityGraph(const NetSystem& sys, ReachOptions opts = {});
+
+    [[nodiscard]] const NetSystem& system() const noexcept { return *sys_; }
+    [[nodiscard]] std::size_t num_states() const noexcept { return states_.size(); }
+    [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+
+    [[nodiscard]] const Marking& marking(StateId s) const {
+        STGCC_REQUIRE(s < states_.size());
+        return states_[s];
+    }
+
+    /// State id of a marking, or kNoState when unreachable.
+    [[nodiscard]] StateId find(const Marking& m) const;
+
+    struct Edge {
+        TransitionId transition;
+        StateId target;
+    };
+    [[nodiscard]] const std::vector<Edge>& successors(StateId s) const {
+        STGCC_REQUIRE(s < succ_.size());
+        return succ_[s];
+    }
+
+    /// True when every reachable marking is 1-bounded.
+    [[nodiscard]] bool is_safe() const noexcept { return safe_; }
+
+    /// Smallest k such that the system is k-bounded.
+    [[nodiscard]] std::uint32_t bound() const noexcept { return bound_; }
+
+    /// States with no enabled transition.
+    [[nodiscard]] std::vector<StateId> deadlocks() const;
+
+    /// A firing sequence from the initial marking to state s (the BFS tree
+    /// path, hence of minimal length).
+    [[nodiscard]] std::vector<TransitionId> path_to(StateId s) const;
+
+private:
+    const NetSystem* sys_;
+    std::vector<Marking> states_;
+    std::unordered_map<Marking, StateId, MarkingHash> index_;
+    std::vector<std::vector<Edge>> succ_;
+    std::vector<StateId> parent_;
+    std::vector<TransitionId> parent_edge_;
+    std::size_t num_edges_ = 0;
+    bool safe_ = true;
+    std::uint32_t bound_ = 0;
+};
+
+}  // namespace stgcc::petri

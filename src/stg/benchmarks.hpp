@@ -1,0 +1,110 @@
+// stgcc -- STG benchmark models.
+//
+// Two exact models come straight from the paper's figures (the VME bus
+// controller of Fig. 1 and its CSC-resolved variant of Fig. 3).  The rest
+// re-model the circuit classes behind Table 1 -- token-ring adapters,
+// duplex channel controllers, counterflow pipeline controllers -- as
+// parametric generators (see DESIGN.md, substitution 2), plus the scalable
+// families used to demonstrate prefix-vs-state-space growth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stg/stg.hpp"
+
+namespace stgcc::stg::bench {
+
+// --- exact models from the paper ------------------------------------------
+
+/// Fig. 1: VME bus controller (read cycle).  Signals dsr, ldtack are inputs;
+/// lds, d, dtack are outputs.  Contains the USC/CSC conflict between the
+/// markings coded 10110 discussed throughout the paper.
+[[nodiscard]] Stg vme_bus();
+
+/// Fig. 3: the VME bus controller after CSC resolution with an internal
+/// signal csc.  Free from coding conflicts, but csc violates normalcy
+/// (its next-state function dsr (csc + !ldtack) is non-monotonic).
+[[nodiscard]] Stg vme_bus_csc_resolved();
+
+// --- scalable families -----------------------------------------------------
+
+/// PAR(n): n independent four-phase handshakes (r_i+ a_i+ r_i- a_i-)
+/// running in parallel.  The state graph has 4^n states; the prefix has
+/// 4n+? events.  Conflict-free (USC and CSC hold).
+[[nodiscard]] Stg parallel_handshakes(int n);
+
+/// PIPE(n): a linear pipeline of n four-phase handshakes where stage i+1's
+/// request is triggered by stage i's acknowledgement.  Marked graph.
+[[nodiscard]] Stg handshake_pipeline(int n);
+
+/// SEQ(n): n four-phase handshakes executed strictly in sequence in a
+/// single loop.  Linear state graph, linear prefix.  Has USC conflicts for
+/// n >= 2 (the all-zero code repeats between rounds).
+[[nodiscard]] Stg sequential_handshakes(int n);
+
+/// Johnson counter over k signals: the cycle z1+ ... zk+ z1- ... zk-.
+/// All 2k reachable codes are distinct, so USC holds.
+[[nodiscard]] Stg johnson_counter(int k);
+
+/// A slow "envelope" signal wrapping `rounds` repetitions of a two-signal
+/// handshake: the inner phase repeats under the same envelope value, giving
+/// guaranteed USC *and* CSC conflicts for rounds >= 2.
+[[nodiscard]] Stg phase_envelope(int rounds);
+
+// --- circuit-class re-modelings behind Table 1 -----------------------------
+
+/// Token-ring adapter with `stations` stations.  A token circulates; at each
+/// station the environment chooses to request service (req_i / gnt_i
+/// handshake) or to let the token pass; the pass is signalled on the ring
+/// output rr_i.  The token position is not observable in the code, giving
+/// the classic coding conflicts of ring adapters ([1,12]).
+[[nodiscard]] Stg token_ring(int stations);
+
+/// Four-phase duplex channel controller ([7]): two directions (A->B data on
+/// ad/bk, B->A data on bd/ak) multiplexed over one channel with turnaround.
+/// With `coded_direction == false` the channel direction is not coded -- the
+/// controller has USC/CSC conflicts.  With `coded_direction == true` an
+/// internal signal dir tracks the turnaround and resolves them.
+/// `data_bits` scales the model (each bit adds a data handshake pair);
+/// `power_control` wraps each burst in an extra output handshake (the
+/// modified-protocol variants).
+[[nodiscard]] Stg duplex_channel(int data_bits, bool coded_direction,
+                                 bool power_control = false);
+
+/// Classic Muller C-element pipeline: stages c1..cn with c_i = C(c_{i-1},
+/// !c_{i+1}), producer input c0 and consumer input c_{n+1}.  Marked graph;
+/// conflict-free (USC and CSC hold); exponentially many states, linear
+/// prefix.
+[[nodiscard]] Stg muller_pipeline(int n);
+
+/// Counterflow pipeline controller ([18]): two Muller C-element flows leave
+/// a common source in opposite roles (instructions forward, results
+/// counter-directed).  `symmetric` selects equal (true) or halved (false)
+/// flow lengths.  Built conflict-free ("-CSC" rows of Table 1:
+/// specifications whose conflicts have been resolved), which makes them the
+/// hard, exhaustive-search instances.
+[[nodiscard]] Stg counterflow(int stages, bool symmetric);
+
+/// Mutual-exclusion arbiter: `clients` request lines r_i (inputs) compete
+/// for grants g_i (outputs) protected by one mutex token; arbitration is
+/// modelled by the shared place (a non-free choice, unlike the rings).
+/// Every reachable marking is determined by the (r_i, g_i) codes, so the
+/// specification is conflict-free -- a useful contrast: a conflict-free
+/// instance where the section 7 optimisation does NOT apply.
+[[nodiscard]] Stg mutex_arbiter(int clients);
+
+// --- suites -----------------------------------------------------------------
+
+struct NamedBenchmark {
+    std::string name;
+    Stg stg;
+    /// True for the "-CSC" rows: the specification is expected to be free
+    /// from coding conflicts (the hard case for the search).
+    bool expect_conflict_free;
+};
+
+/// The Table 1 suite: one entry per row of the paper's table, re-modeled.
+[[nodiscard]] std::vector<NamedBenchmark> table1_suite();
+
+}  // namespace stgcc::stg::bench

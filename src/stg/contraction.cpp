@@ -1,0 +1,171 @@
+#include "stg/contraction.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace stgcc::stg {
+
+namespace {
+
+/// Mutable working copy of the net (petri::Net does not support removal).
+struct WorkNet {
+    struct Place {
+        std::string name;
+        std::uint32_t tokens = 0;
+        std::set<std::size_t> pre, post;  // transition indices
+        bool alive = true;
+    };
+    struct Transition {
+        std::string name;
+        std::optional<Label> label;
+        std::set<std::size_t> pre, post;  // place indices
+        bool alive = true;
+    };
+    std::vector<Place> places;
+    std::vector<Transition> transitions;
+};
+
+WorkNet to_work_net(const Stg& stg) {
+    WorkNet w;
+    const petri::Net& net = stg.net();
+    w.places.resize(net.num_places());
+    w.transitions.resize(net.num_transitions());
+    for (petri::PlaceId p = 0; p < net.num_places(); ++p) {
+        w.places[p].name = net.place_name(p);
+        w.places[p].tokens = stg.system().initial_marking()[p];
+    }
+    for (petri::TransitionId t = 0; t < net.num_transitions(); ++t) {
+        w.transitions[t].name = net.transition_name(t);
+        if (!stg.is_dummy(t)) w.transitions[t].label = stg.label(t);
+        for (petri::PlaceId p : net.pre(t)) {
+            w.transitions[t].pre.insert(p);
+            w.places[p].post.insert(t);
+        }
+        for (petri::PlaceId p : net.post(t)) {
+            w.transitions[t].post.insert(p);
+            w.places[p].pre.insert(t);
+        }
+    }
+    return w;
+}
+
+bool contractable(const WorkNet& w, std::size_t t) {
+    const auto& tr = w.transitions[t];
+    if (!tr.alive || tr.label.has_value()) return false;
+    if (tr.pre.empty() || tr.post.empty()) return false;
+    for (std::size_t p : tr.pre) {
+        if (tr.post.count(p)) return false;  // self-loop
+        if (w.places[p].post.size() != 1) return false;  // type-1 security
+    }
+    // Arc-weight soundness: a transition adjacent to both p in *t and q in
+    // t* would need a weight-2 arc to the product place; ordinary nets
+    // cannot express that, so such dummies are left alone.
+    for (std::size_t p : tr.pre) {
+        for (std::size_t q : tr.post) {
+            for (std::size_t u : w.places[p].pre)
+                if (w.places[q].pre.count(u)) return false;
+            for (std::size_t u : w.places[p].post)
+                if (u != t && w.places[q].post.count(u)) return false;
+        }
+    }
+    return true;
+}
+
+void contract(WorkNet& w, std::size_t t) {
+    auto& tr = w.transitions[t];
+    // Create the product places.
+    for (std::size_t p : tr.pre) {
+        for (std::size_t q : tr.post) {
+            WorkNet::Place r;
+            r.name = "(" + w.places[p].name + "*" + w.places[q].name + ")";
+            r.tokens = w.places[p].tokens + w.places[q].tokens;
+            for (std::size_t u : w.places[p].pre) r.pre.insert(u);
+            for (std::size_t u : w.places[q].pre)
+                if (u != t) r.pre.insert(u);
+            for (std::size_t u : w.places[p].post)
+                if (u != t) r.post.insert(u);
+            for (std::size_t u : w.places[q].post) r.post.insert(u);
+            const std::size_t rid = w.places.size();
+            w.places.push_back(std::move(r));
+            for (std::size_t u : w.places[rid].pre)
+                w.transitions[u].post.insert(rid);
+            for (std::size_t u : w.places[rid].post)
+                w.transitions[u].pre.insert(rid);
+        }
+    }
+    // Remove t and the old places.
+    auto kill_place = [&](std::size_t p) {
+        w.places[p].alive = false;
+        for (std::size_t u : w.places[p].pre) w.transitions[u].post.erase(p);
+        for (std::size_t u : w.places[p].post) w.transitions[u].pre.erase(p);
+    };
+    const std::set<std::size_t> pre = tr.pre, post = tr.post;
+    tr.alive = false;
+    for (std::size_t p : pre) kill_place(p);
+    for (std::size_t q : post) kill_place(q);
+    // Detach t from any leftovers (already handled via kill_place).
+    tr.pre.clear();
+    tr.post.clear();
+}
+
+Stg to_stg(const Stg& original, const WorkNet& w) {
+    Stg out;
+    out.set_name(original.name());
+    for (SignalId z = 0; z < original.num_signals(); ++z)
+        out.add_signal(original.signal_name(z), original.signal_kind(z));
+
+    std::vector<petri::PlaceId> place_map(w.places.size(), petri::kNoPlace);
+    std::vector<petri::TransitionId> trans_map(w.transitions.size(),
+                                               petri::kNoTransition);
+    for (std::size_t p = 0; p < w.places.size(); ++p)
+        if (w.places[p].alive) place_map[p] = out.add_place(w.places[p].name);
+    for (std::size_t t = 0; t < w.transitions.size(); ++t) {
+        if (!w.transitions[t].alive) continue;
+        trans_map[t] = w.transitions[t].label
+                           ? out.add_transition(w.transitions[t].name,
+                                                *w.transitions[t].label)
+                           : out.add_dummy_transition(w.transitions[t].name);
+    }
+    for (std::size_t t = 0; t < w.transitions.size(); ++t) {
+        if (!w.transitions[t].alive) continue;
+        for (std::size_t p : w.transitions[t].pre)
+            out.add_arc_pt(place_map[p], trans_map[t]);
+        for (std::size_t p : w.transitions[t].post)
+            out.add_arc_tp(trans_map[t], place_map[p]);
+    }
+    petri::Marking m0(out.net().num_places());
+    for (std::size_t p = 0; p < w.places.size(); ++p)
+        if (w.places[p].alive) m0.set(place_map[p], w.places[p].tokens);
+    out.set_initial_marking(std::move(m0));
+    return out;
+}
+
+}  // namespace
+
+bool is_contractable(const Stg& stg, petri::TransitionId t) {
+    STGCC_REQUIRE(t < stg.net().num_transitions());
+    return contractable(to_work_net(stg), t);
+}
+
+ContractionResult contract_dummies(const Stg& input) {
+    WorkNet w = to_work_net(input);
+    ContractionResult result;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::size_t t = 0; t < w.transitions.size(); ++t) {
+            if (contractable(w, t)) {
+                contract(w, t);
+                ++result.contracted;
+                progress = true;
+            }
+        }
+    }
+    for (const auto& tr : w.transitions)
+        if (tr.alive && !tr.label.has_value())
+            result.remaining_dummies.push_back(tr.name);
+    result.stg = to_stg(input, w);
+    return result;
+}
+
+}  // namespace stgcc::stg

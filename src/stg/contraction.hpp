@@ -1,0 +1,39 @@
+// stgcc -- secure contraction of dummy (tau-labelled) transitions.
+//
+// The paper's algorithms assume dummy-free STGs (the tau case is deferred
+// to its technical-report version); practical specifications, however,
+// often carry dummies from high-level translation.  This module removes
+// them by the standard product contraction: a dummy t with preset P and
+// postset Q is replaced by the places {r_pq | p in P, q in Q} with
+//   *r_pq = *p u (*q \ {t}),   r_pq* = (p* \ {t}) u q*,   M(r_pq) = M(p)+M(q),
+// applied only when the contraction is *type-1 secure* (every place feeding
+// t feeds nothing else, and P n Q = 0), which preserves the STG's
+// branching behaviour on visible labels.  Contraction iterates to a fixed
+// point; dummies that are never securely contractable are reported.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stg/stg.hpp"
+
+namespace stgcc::stg {
+
+/// True when the dummy transition t can be securely contracted (type-1):
+/// t is a dummy, has no self-loop place, and every preset place of t has t
+/// as its only consumer.
+[[nodiscard]] bool is_contractable(const Stg& stg, petri::TransitionId t);
+
+struct ContractionResult {
+    Stg stg;                          ///< the contracted STG
+    std::size_t contracted = 0;       ///< dummies removed
+    std::vector<std::string> remaining_dummies;  ///< names still present
+};
+
+/// Contract securely contractable dummies to a fixed point.  Signals, the
+/// labelled transitions and the model name are preserved; places are
+/// renamed where merged.  The result may still contain dummies (see
+/// remaining_dummies) when no secure rule applies to them.
+[[nodiscard]] ContractionResult contract_dummies(const Stg& input);
+
+}  // namespace stgcc::stg

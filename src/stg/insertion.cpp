@@ -1,0 +1,211 @@
+#include "stg/insertion.hpp"
+
+namespace stgcc::stg {
+
+namespace {
+
+void copy_signals(const Stg& input, Stg& out) {
+    for (SignalId z = 0; z < input.num_signals(); ++z)
+        out.add_signal(input.signal_name(z), input.signal_kind(z));
+}
+
+}  // namespace
+
+Stg insert_signal_transition(const Stg& input, petri::TransitionId after,
+                             Label label, const std::string& transition_name) {
+    const petri::Net& net = input.net();
+    STGCC_REQUIRE(after < net.num_transitions());
+    STGCC_REQUIRE(label.signal < input.num_signals());
+
+    Stg out;
+    out.set_name(input.name());
+    copy_signals(input, out);
+
+    // Transitions first (same ids), then the new one.
+    for (petri::TransitionId t = 0; t < net.num_transitions(); ++t) {
+        if (input.is_dummy(t))
+            out.add_dummy_transition(net.transition_name(t));
+        else
+            out.add_transition(net.transition_name(t), input.label(t));
+    }
+    const petri::TransitionId fresh =
+        out.add_transition(transition_name, label);
+
+    // Places keep their ids; add the splice place at the end.
+    for (petri::PlaceId p = 0; p < net.num_places(); ++p)
+        out.add_place(net.place_name(p));
+    const petri::PlaceId splice = out.add_place("<" + net.transition_name(after) +
+                                                "," + transition_name + ">");
+
+    for (petri::TransitionId t = 0; t < net.num_transitions(); ++t) {
+        for (petri::PlaceId p : net.pre(t)) out.add_arc_pt(p, t);
+        for (petri::PlaceId p : net.post(t)) {
+            if (t == after)
+                out.add_arc_tp(fresh, p);  // re-routed through the new event
+            else
+                out.add_arc_tp(t, p);
+        }
+    }
+    out.add_arc_tp(after, splice);
+    out.add_arc_pt(splice, fresh);
+
+    petri::Marking m0(out.net().num_places());
+    for (petri::PlaceId p = 0; p < net.num_places(); ++p)
+        m0.set(p, input.system().initial_marking()[p]);
+    out.set_initial_marking(std::move(m0));
+    return out;
+}
+
+Stg insert_signal_after_place(const Stg& input, petri::PlaceId after,
+                              Label label, const std::string& transition_name) {
+    const petri::Net& net = input.net();
+    STGCC_REQUIRE(after < net.num_places());
+    STGCC_REQUIRE(label.signal < input.num_signals());
+
+    Stg out;
+    out.set_name(input.name());
+    copy_signals(input, out);
+    for (petri::TransitionId t = 0; t < net.num_transitions(); ++t) {
+        if (input.is_dummy(t))
+            out.add_dummy_transition(net.transition_name(t));
+        else
+            out.add_transition(net.transition_name(t), input.label(t));
+    }
+    const petri::TransitionId fresh =
+        out.add_transition(transition_name, label);
+    for (petri::PlaceId p = 0; p < net.num_places(); ++p)
+        out.add_place(net.place_name(p));
+    const petri::PlaceId tail =
+        out.add_place("<" + transition_name + "," + net.place_name(after) + ">");
+
+    for (petri::TransitionId t = 0; t < net.num_transitions(); ++t) {
+        for (petri::PlaceId p : net.pre(t))
+            out.add_arc_pt(p == after ? tail : p, t);
+        for (petri::PlaceId p : net.post(t)) out.add_arc_tp(t, p);
+    }
+    out.add_arc_pt(after, fresh);
+    out.add_arc_tp(fresh, tail);
+
+    petri::Marking m0(out.net().num_places());
+    for (petri::PlaceId p = 0; p < net.num_places(); ++p)
+        m0.set(p, input.system().initial_marking()[p]);
+    out.set_initial_marking(std::move(m0));
+    return out;
+}
+
+Stg insert_signal_after_transitions(const Stg& input,
+                                    const std::vector<petri::TransitionId>& after,
+                                    Label label, const std::string& base_name) {
+    STGCC_REQUIRE(!after.empty());
+    Stg out = input;
+    for (std::size_t j = 0; j < after.size(); ++j) {
+        const std::string name =
+            after.size() == 1 ? base_name
+                              : base_name + "/" + std::to_string(j + 1);
+        out = insert_signal_transition(out, after[j], label, name);
+    }
+    return out;
+}
+
+Stg insert_signal_before_place(const Stg& input, petri::PlaceId place,
+                               Label label, const std::string& base_name) {
+    const petri::Net& net = input.net();
+    STGCC_REQUIRE(place < net.num_places());
+    STGCC_REQUIRE(label.signal < input.num_signals());
+    const auto producers = net.pre_of_place(place);
+    if (producers.empty())
+        throw ModelError("insert_signal_before_place: place " +
+                         net.place_name(place) + " has no producers");
+
+    Stg out;
+    out.set_name(input.name());
+    copy_signals(input, out);
+    for (petri::TransitionId t = 0; t < net.num_transitions(); ++t) {
+        if (input.is_dummy(t))
+            out.add_dummy_transition(net.transition_name(t));
+        else
+            out.add_transition(net.transition_name(t), input.label(t));
+    }
+    // One instance per producing arc.
+    std::vector<petri::TransitionId> fresh;
+    for (std::size_t j = 0; j < producers.size(); ++j)
+        fresh.push_back(out.add_transition(
+            producers.size() == 1 ? base_name
+                                  : base_name + "/" + std::to_string(j + 1),
+            label));
+
+    for (petri::PlaceId p = 0; p < net.num_places(); ++p)
+        out.add_place(net.place_name(p));
+    std::vector<petri::PlaceId> splice;
+    for (std::size_t j = 0; j < producers.size(); ++j)
+        splice.push_back(out.add_place("<" + net.transition_name(producers[j]) +
+                                       "," + base_name + "/" +
+                                       std::to_string(j + 1) + ">"));
+
+    for (petri::TransitionId t = 0; t < net.num_transitions(); ++t) {
+        for (petri::PlaceId p : net.pre(t)) out.add_arc_pt(p, t);
+        for (petri::PlaceId p : net.post(t)) {
+            if (p == place) continue;  // re-routed below
+            out.add_arc_tp(t, p);
+        }
+    }
+    for (std::size_t j = 0; j < producers.size(); ++j) {
+        out.add_arc_tp(producers[j], splice[j]);
+        out.add_arc_pt(splice[j], fresh[j]);
+        out.add_arc_tp(fresh[j], place);
+    }
+
+    petri::Marking m0(out.net().num_places());
+    for (petri::PlaceId p = 0; p < net.num_places(); ++p)
+        m0.set(p, input.system().initial_marking()[p]);
+    out.set_initial_marking(std::move(m0));
+    return out;
+}
+
+std::pair<Stg, SignalId> with_internal_signal(const Stg& input, std::string name) {
+    Stg out;
+    out.set_name(input.name());
+    copy_signals(input, out);
+    const SignalId z = out.add_signal(std::move(name), SignalKind::Internal);
+    const petri::Net& net = input.net();
+    for (petri::TransitionId t = 0; t < net.num_transitions(); ++t) {
+        if (input.is_dummy(t))
+            out.add_dummy_transition(net.transition_name(t));
+        else
+            out.add_transition(net.transition_name(t), input.label(t));
+    }
+    for (petri::PlaceId p = 0; p < net.num_places(); ++p)
+        out.add_place(net.place_name(p));
+    for (petri::TransitionId t = 0; t < net.num_transitions(); ++t) {
+        for (petri::PlaceId p : net.pre(t)) out.add_arc_pt(p, t);
+        for (petri::PlaceId p : net.post(t)) out.add_arc_tp(t, p);
+    }
+    out.set_initial_marking(input.system().initial_marking());
+    return {std::move(out), z};
+}
+
+Stg hide_signal(const Stg& input, SignalId z) {
+    STGCC_REQUIRE(z < input.num_signals());
+    Stg out;
+    out.set_name(input.name());
+    copy_signals(input, out);
+    const petri::Net& net = input.net();
+    for (petri::TransitionId t = 0; t < net.num_transitions(); ++t) {
+        if (!input.is_dummy(t) && input.label(t).signal == z)
+            out.add_dummy_transition(net.transition_name(t));
+        else if (input.is_dummy(t))
+            out.add_dummy_transition(net.transition_name(t));
+        else
+            out.add_transition(net.transition_name(t), input.label(t));
+    }
+    for (petri::PlaceId p = 0; p < net.num_places(); ++p)
+        out.add_place(net.place_name(p));
+    for (petri::TransitionId t = 0; t < net.num_transitions(); ++t) {
+        for (petri::PlaceId p : net.pre(t)) out.add_arc_pt(p, t);
+        for (petri::PlaceId p : net.post(t)) out.add_arc_tp(t, p);
+    }
+    out.set_initial_marking(input.system().initial_marking());
+    return out;
+}
+
+}  // namespace stgcc::stg

@@ -1,0 +1,62 @@
+// stgcc -- structural transformations for conflict resolution.
+//
+// insert_signal_transition() performs the standard series insertion used to
+// resolve coding conflicts: a new (typically internal) signal edge is
+// spliced in directly after an existing transition t, i.e. every t -> p arc
+// is re-routed t -> q -> new -> p through a fresh place q.  The visible
+// behaviour is preserved up to the delay of the inserted internal event --
+// equivalently, the inserted transition is type-1 securely contractable, so
+// hiding the new signal and contracting recovers the original STG (tested).
+//
+// hide_signal() relabels all edges of a signal as dummies (used together
+// with contraction to validate insertions).
+#pragma once
+
+#include "stg/stg.hpp"
+
+namespace stgcc::stg {
+
+/// Insert a new transition labelled `label` (its signal must already be
+/// declared) in series after transition `after`.  Returns the transformed
+/// STG; the input is not modified.
+[[nodiscard]] Stg insert_signal_transition(const Stg& input,
+                                           petri::TransitionId after,
+                                           Label label,
+                                           const std::string& transition_name);
+
+/// Insert a new transition in series after place `after`: the place's
+/// consumers are re-routed through p -> new -> p'.  Unlike the transition
+/// variant this covers *all* branches flowing through the place, which is
+/// what resolving conflicts across alternative branches needs.
+[[nodiscard]] Stg insert_signal_after_place(const Stg& input,
+                                            petri::PlaceId after, Label label,
+                                            const std::string& transition_name);
+
+/// Insert a new signal edge in series *before* place `after`: one fresh
+/// transition instance (`name/1`, `name/2`, ...) is spliced into every
+/// producing arc u -> p, so the toggle fires on every branch that marks the
+/// place.  This is the move that resolves conflicts between a marking and
+/// its all-branches predecessor (e.g. token-ring skip loops).  The place
+/// must have at least one producer.
+[[nodiscard]] Stg insert_signal_before_place(const Stg& input,
+                                             petri::PlaceId place, Label label,
+                                             const std::string& base_name);
+
+/// Insert one instance of the signal edge in series after *each* of the
+/// given transitions (`name/1`, `name/2`, ...).  Used with the consumer set
+/// of a choice place so the toggle fires on every alternative branch --
+/// while that branch's own signals are still active, which keeps the
+/// toggle's code window covered.
+[[nodiscard]] Stg insert_signal_after_transitions(
+    const Stg& input, const std::vector<petri::TransitionId>& after,
+    Label label, const std::string& base_name);
+
+/// Copy the STG with a fresh internal signal added; returns the new id.
+[[nodiscard]] std::pair<Stg, SignalId> with_internal_signal(const Stg& input,
+                                                            std::string name);
+
+/// Relabel every transition of signal z as a dummy (tau).  The signal
+/// itself remains declared but unused.
+[[nodiscard]] Stg hide_signal(const Stg& input, SignalId z);
+
+}  // namespace stgcc::stg

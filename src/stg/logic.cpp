@@ -1,0 +1,193 @@
+#include "stg/logic.hpp"
+
+#include <unordered_map>
+
+namespace stgcc::stg {
+
+std::string Cube::to_string(const Stg& stg) const {
+    std::string out;
+    bool first = true;
+    care.for_each([&](std::size_t z) {
+        if (!first) out += ' ';
+        first = false;
+        out += stg.signal_name(static_cast<SignalId>(z));
+        if (!value.test(z)) out += '\'';
+    });
+    return first ? "1" : out;
+}
+
+std::string Cover::to_string(const Stg& stg) const {
+    if (cubes.empty()) return "0";
+    std::string out;
+    for (std::size_t i = 0; i < cubes.size(); ++i) {
+        if (i) out += " + ";
+        out += cubes[i].to_string(stg);
+    }
+    return out;
+}
+
+Unateness cover_unateness(const Cover& cover, SignalId var) {
+    bool pos = false, neg = false;
+    for (const Cube& c : cover.cubes) {
+        if (var >= c.care.size() || !c.care.test(var)) continue;
+        (c.value.test(var) ? pos : neg) = true;
+    }
+    if (pos && neg) return Unateness::Binate;
+    if (pos) return Unateness::PositiveUnate;
+    if (neg) return Unateness::NegativeUnate;
+    return Unateness::Independent;
+}
+
+bool is_monotonic(const Cover& cover) {
+    if (cover.cubes.empty()) return true;
+    const std::size_t width = cover.cubes[0].care.size();
+    bool any_positive = false, any_negative = false;
+    for (SignalId z = 0; z < width; ++z) {
+        switch (cover_unateness(cover, z)) {
+            case Unateness::PositiveUnate: any_positive = true; break;
+            case Unateness::NegativeUnate: any_negative = true; break;
+            case Unateness::Binate: return false;
+            case Unateness::Independent: break;
+        }
+    }
+    // Monotonic = non-decreasing in every input (all positive) or
+    // non-increasing in every input (all negative, a NAND/NOR-style gate);
+    // a mix needs an input inverter (paper, section 6).
+    return !(any_positive && any_negative);
+}
+
+LogicSynthesizer::LogicSynthesizer(const StateGraph& sg) : sg_(&sg) {
+    if (!sg.consistent())
+        throw ModelError("logic synthesis requires a consistent STG: " +
+                         sg.inconsistency_reason());
+}
+
+LogicSynthesizer::OnOff LogicSynthesizer::on_off_sets(SignalId z) const {
+    const Stg& stg = sg_->stg();
+    STGCC_REQUIRE(z < stg.num_signals());
+    // Nxt_z per distinct reachable code; a clash is a CSC violation for z.
+    std::unordered_map<BitVec, bool, BitVecHash> nxt_of_code;
+    for (petri::StateId s = 0; s < sg_->num_states(); ++s) {
+        const bool nxt = sg_->nxt(s, z);
+        auto [it, inserted] = nxt_of_code.emplace(sg_->code(s), nxt);
+        if (!inserted && it->second != nxt)
+            throw ModelError("signal " + stg.signal_name(z) +
+                             " has a CSC conflict: code " +
+                             it->first.to_string() +
+                             " occurs with both next-state values");
+    }
+    OnOff sets;
+    for (const auto& [code, nxt] : nxt_of_code)
+        (nxt ? sets.on : sets.off).push_back(code);
+    return sets;
+}
+
+namespace {
+
+/// Greedy single-pass expansion of the ON minterms against the OFF-set.
+/// `drop_zero_first` biases the literal-removal order: removing the
+/// complemented (0-valued) literals first steers p-normal functions to
+/// all-positive covers (and dually for n-normal ones), so that normal
+/// signals always synthesise to monotonic covers.
+Cover expand_cover(const std::vector<Code>& on, const std::vector<Code>& off,
+                   std::size_t width, bool drop_zero_first) {
+    Cover cover;
+    for (const Code& minterm : on) {
+        if (cover.covers(minterm)) continue;
+        Cube cube;
+        cube.care = BitVec(width);
+        cube.care.set_all();
+        cube.value = minterm;
+        auto try_drop = [&](SignalId v) {
+            cube.care.reset(v);
+            const bool old_value = cube.value.test(v);
+            cube.value.reset(v);  // canonical: value bits only inside care
+            for (const Code& o : off)
+                if (cube.covers(o)) {
+                    cube.care.set(v);
+                    cube.value.assign_bit(v, old_value);
+                    return;
+                }
+        };
+        for (int phase = 0; phase < 2; ++phase)
+            for (SignalId v = 0; v < width; ++v)
+                if (minterm.test(v) == (drop_zero_first == (phase == 1)))
+                    try_drop(v);
+        cover.cubes.push_back(std::move(cube));
+    }
+    // Irredundancy pass: drop cubes whose ON codes are covered elsewhere.
+    for (std::size_t i = cover.cubes.size(); i-- > 0;) {
+        Cover rest;
+        for (std::size_t j = 0; j < cover.cubes.size(); ++j)
+            if (j != i) rest.cubes.push_back(cover.cubes[j]);
+        bool redundant = true;
+        for (const Code& minterm : on)
+            if (cover.cubes[i].covers(minterm) && !rest.covers(minterm)) {
+                redundant = false;
+                break;
+            }
+        if (redundant) cover.cubes = std::move(rest.cubes);
+    }
+    return cover;
+}
+
+}  // namespace
+
+NextStateFunction LogicSynthesizer::synthesize(SignalId z) const {
+    const OnOff sets = on_off_sets(z);
+    NextStateFunction fn;
+    fn.signal = z;
+    fn.on_codes = sets.on.size();
+    fn.off_codes = sets.off.size();
+
+    const std::size_t width = sg_->stg().num_signals();
+    // Try both removal orders; prefer a monotonic cover, then the smaller.
+    Cover a = expand_cover(sets.on, sets.off, width, /*drop_zero_first=*/true);
+    if (is_monotonic(a)) {
+        fn.cover = std::move(a);
+        return fn;
+    }
+    Cover b = expand_cover(sets.on, sets.off, width, /*drop_zero_first=*/false);
+    if (is_monotonic(b)) {
+        fn.cover = std::move(b);
+        return fn;
+    }
+    fn.cover = a.cubes.size() <= b.cubes.size() ? std::move(a) : std::move(b);
+    return fn;
+}
+
+std::vector<NextStateFunction> LogicSynthesizer::synthesize_all() const {
+    std::vector<NextStateFunction> out;
+    for (SignalId z : sg_->stg().circuit_driven_signals())
+        out.push_back(synthesize(z));
+    return out;
+}
+
+std::optional<Cover> LogicSynthesizer::monotone_cover(SignalId z,
+                                                      bool positive) const {
+    const OnOff sets = on_off_sets(z);
+    const std::size_t width = sg_->stg().num_signals();
+    Cover cover;
+    for (const Code& on : sets.on) {
+        Cube cube;
+        if (positive) {
+            // Require exactly the 1-bits: covers every code above `on`.
+            cube.care = on;
+            cube.value = on;
+        } else {
+            // Require exactly the 0-bits (complemented): covers below `on`.
+            cube.care = on;
+            cube.care.resize(width);
+            BitVec all(width);
+            all.set_all();
+            cube.care ^= all;  // complement of the 1-bits
+            cube.value = BitVec(width);
+        }
+        cover.cubes.push_back(std::move(cube));
+    }
+    for (const Code& off : sets.off)
+        if (cover.covers(off)) return std::nullopt;
+    return cover;
+}
+
+}  // namespace stgcc::stg

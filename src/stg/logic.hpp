@@ -1,0 +1,114 @@
+// stgcc -- derivation of next-state functions (step (c) of STG synthesis).
+//
+// Once an STG satisfies CSC, the next-state function Nxt_z of every
+// circuit-driven signal is a well-defined boolean function of the state
+// code, with unreachable codes as don't-cares.  This module derives
+// sum-of-products covers for these functions:
+//
+//   * synthesize():       a compact cover via greedy cube expansion against
+//                         the OFF-set (an "espresso-lite" single pass);
+//   * monotone_cover():   the upward/downward-closure cover, which exists
+//                         exactly when the signal is p-/n-normal -- giving an
+//                         independent, exact characterisation of the paper's
+//                         section 6 normalcy property (used in tests to
+//                         cross-validate the normalcy checkers);
+//   * unateness analysis of covers (monotonic-gate implementability).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stg/state_graph.hpp"
+
+namespace stgcc::stg {
+
+/// A product term (cube) over the signal variables: `care` marks the
+/// variables that appear in the term, `value` their required polarity
+/// (value bits outside care must be 0).
+struct Cube {
+    BitVec care;
+    BitVec value;
+
+    [[nodiscard]] bool covers(const Code& code) const {
+        STGCC_ASSERT(code.size() == care.size());
+        // code agrees with value on all care positions.
+        BitVec diff = code;
+        diff ^= value;
+        return !diff.intersects(care);
+    }
+
+    /// Literal rendering, e.g. "dsr ldtack' csc".
+    [[nodiscard]] std::string to_string(const Stg& stg) const;
+};
+
+/// Sum-of-products cover.
+struct Cover {
+    std::vector<Cube> cubes;
+
+    [[nodiscard]] bool covers(const Code& code) const {
+        for (const Cube& c : cubes)
+            if (c.covers(code)) return true;
+        return false;
+    }
+
+    /// Rendering, e.g. "d + csc".
+    [[nodiscard]] std::string to_string(const Stg& stg) const;
+};
+
+/// Polarity behaviour of a cover in one variable.
+enum class Unateness {
+    Independent,    ///< the variable does not appear
+    PositiveUnate,  ///< appears only uncomplemented
+    NegativeUnate,  ///< appears only complemented
+    Binate,         ///< appears in both polarities
+};
+
+[[nodiscard]] Unateness cover_unateness(const Cover& cover, SignalId var);
+
+/// True when the cover is monotonic in the paper's section 6 sense:
+/// non-decreasing in every variable (all positive-unate) or non-increasing
+/// in every variable (all negative-unate) -- i.e. implementable by a gate
+/// whose characteristic function is monotonic, with no input inverters.
+[[nodiscard]] bool is_monotonic(const Cover& cover);
+
+/// The synthesised next-state function of one signal.
+struct NextStateFunction {
+    SignalId signal = kNoSignal;
+    Cover cover;
+    std::size_t on_codes = 0;   ///< reachable codes with Nxt = 1
+    std::size_t off_codes = 0;  ///< reachable codes with Nxt = 0
+};
+
+class LogicSynthesizer {
+public:
+    /// Requires a consistent STG; CSC is checked per synthesised signal
+    /// (a code with both Nxt values trips ModelError, naming the signal).
+    explicit LogicSynthesizer(const StateGraph& sg);
+
+    /// Derive a cover for Nxt_z by greedy cube expansion.  The result
+    /// covers every reachable ON code and no reachable OFF code
+    /// (unreachable codes are don't-cares).
+    [[nodiscard]] NextStateFunction synthesize(SignalId z) const;
+
+    /// All circuit-driven signals.
+    [[nodiscard]] std::vector<NextStateFunction> synthesize_all() const;
+
+    /// The monotone-closure cover: for `positive`, one cube per ON code
+    /// requiring exactly its 1-bits (covers everything above it); dually
+    /// for negative.  Returns nullopt when the closure hits the OFF-set --
+    /// which happens exactly when the signal is not p-normal (resp. not
+    /// n-normal).
+    [[nodiscard]] std::optional<Cover> monotone_cover(SignalId z,
+                                                      bool positive) const;
+
+private:
+    struct OnOff {
+        std::vector<Code> on, off;
+    };
+    [[nodiscard]] OnOff on_off_sets(SignalId z) const;
+
+    const StateGraph* sg_;
+};
+
+}  // namespace stgcc::stg

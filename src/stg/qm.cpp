@@ -1,0 +1,148 @@
+#include "stg/qm.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace stgcc::stg {
+
+namespace {
+
+struct CubeKey {
+    std::string s;
+    friend bool operator==(const CubeKey&, const CubeKey&) = default;
+};
+struct CubeKeyHash {
+    std::size_t operator()(const CubeKey& k) const noexcept {
+        return std::hash<std::string>{}(k.s);
+    }
+};
+
+CubeKey key_of(const Cube& c) { return CubeKey{c.care.to_string() + c.value.to_string()}; }
+
+bool hits(const Cube& cube, const std::vector<Code>& off) {
+    for (const Code& o : off)
+        if (cube.covers(o)) return true;
+    return false;
+}
+
+}  // namespace
+
+std::vector<Cube> prime_implicants(const std::vector<Code>& on,
+                                   const std::vector<Code>& off,
+                                   std::size_t width, MinimizeOptions opts) {
+    // BFS over cubes: start from the ON minterms, repeatedly drop one
+    // literal while the cube still avoids the OFF-set.  A cube from which
+    // no literal can be dropped is prime.
+    std::unordered_set<CubeKey, CubeKeyHash> seen;
+    std::vector<Cube> frontier;
+    for (const Code& m : on) {
+        Cube c;
+        c.care = BitVec(width);
+        c.care.set_all();
+        c.value = m;
+        if (seen.size() >= opts.max_primes)
+            throw ModelError("prime implicant generation exceeded " +
+                             std::to_string(opts.max_primes) + " cubes");
+        if (seen.insert(key_of(c)).second) frontier.push_back(c);
+    }
+    std::vector<Cube> primes;
+    while (!frontier.empty()) {
+        std::vector<Cube> next;
+        for (const Cube& cube : frontier) {
+            bool expandable = false;
+            for (SignalId v = 0; v < width; ++v) {
+                if (!cube.care.test(v)) continue;
+                Cube wider = cube;
+                wider.care.reset(v);
+                wider.value.reset(v);
+                if (hits(wider, off)) continue;
+                expandable = true;
+                if (seen.size() >= opts.max_primes)
+                    throw ModelError("prime implicant generation exceeded " +
+                                     std::to_string(opts.max_primes) + " cubes");
+                if (seen.insert(key_of(wider)).second) next.push_back(wider);
+            }
+            if (!expandable) primes.push_back(cube);
+        }
+        frontier = std::move(next);
+    }
+    return primes;
+}
+
+Cover minimize_exact(const std::vector<Code>& on, const std::vector<Code>& off,
+                     std::size_t width, MinimizeOptions opts) {
+    if (on.empty()) return Cover{};
+    std::vector<Cube> primes = prime_implicants(on, off, width, opts);
+
+    // Coverage table: per ON minterm the set of primes covering it.
+    const std::size_t n = on.size();
+    std::vector<std::vector<std::uint32_t>> covering(n);
+    for (std::uint32_t pi = 0; pi < primes.size(); ++pi)
+        for (std::size_t mi = 0; mi < n; ++mi)
+            if (primes[pi].covers(on[mi])) covering[mi].push_back(pi);
+
+    // Branch and bound: repeatedly pick the uncovered minterm with fewest
+    // candidate primes and branch over them.
+    std::vector<std::uint32_t> best, current;
+    std::size_t best_size = primes.size() + 1;
+    std::vector<int> covered(n, 0);
+    std::size_t nodes = 0;
+
+    std::function<void()> go = [&]() {
+        if (++nodes > opts.max_nodes)
+            throw ModelError("exact cover search exceeded node limit");
+        if (current.size() + 1 > best_size) return;  // cannot improve
+        std::size_t pick = n;
+        for (std::size_t mi = 0; mi < n; ++mi) {
+            if (covered[mi]) continue;
+            if (pick == n || covering[mi].size() < covering[pick].size()) pick = mi;
+        }
+        if (pick == n) {  // everything covered
+            if (current.size() < best_size) {
+                best_size = current.size();
+                best = current;
+            }
+            return;
+        }
+        if (current.size() + 1 >= best_size) return;
+        for (std::uint32_t pi : covering[pick]) {
+            std::vector<std::size_t> newly;
+            for (std::size_t mi = 0; mi < n; ++mi)
+                if (!covered[mi] && primes[pi].covers(on[mi])) {
+                    covered[mi] = 1;
+                    newly.push_back(mi);
+                }
+            current.push_back(pi);
+            go();
+            current.pop_back();
+            for (std::size_t mi : newly) covered[mi] = 0;
+        }
+    };
+    go();
+    STGCC_ENSURE(best_size <= primes.size());
+
+    Cover cover;
+    for (std::uint32_t pi : best) cover.cubes.push_back(primes[pi]);
+    return cover;
+}
+
+NextStateFunction synthesize_exact(const StateGraph& sg, SignalId z,
+                                   MinimizeOptions opts) {
+    // Reuse the greedy synthesiser's ON/OFF extraction (and its CSC check)
+    // by running it first; then minimise exactly.
+    LogicSynthesizer synth(sg);
+    NextStateFunction fn = synth.synthesize(z);
+    std::vector<Code> on, off;
+    std::unordered_map<BitVec, bool, BitVecHash> nxt_of_code;
+    for (petri::StateId s = 0; s < sg.num_states(); ++s)
+        nxt_of_code.emplace(sg.code(s), sg.nxt(s, z));
+    for (const auto& [code, nxt] : nxt_of_code) (nxt ? on : off).push_back(code);
+    Cover exact = minimize_exact(on, off, sg.stg().num_signals(), opts);
+    if (exact.cubes.size() < fn.cover.cubes.size()) fn.cover = std::move(exact);
+    return fn;
+}
+
+}  // namespace stgcc::stg

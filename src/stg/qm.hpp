@@ -1,0 +1,41 @@
+// stgcc -- exact two-level minimisation of next-state functions.
+//
+// Complements the greedy expansion in logic.hpp with an exact
+// Quine-McCluskey-style procedure that works directly on the care sets
+// (no don't-care enumeration): a cube is a *prime implicant* when it
+// intersects no OFF code and dropping any further literal would; the
+// minimum cover is found by branch-and-bound set covering of the ON codes
+// with primes.  Exponential in the worst case -- intended for the
+// benchmark-sized functions (a handful of cubes over <= ~20 signals).
+#pragma once
+
+#include "stg/logic.hpp"
+
+namespace stgcc::stg {
+
+struct MinimizeOptions {
+    /// Abort with ModelError when prime generation exceeds this count.
+    std::size_t max_primes = 200'000;
+    /// Abort with ModelError when the covering search exceeds this many
+    /// branch nodes.
+    std::size_t max_nodes = 5'000'000;
+};
+
+/// All prime implicants of the (ON, OFF) function (maximal cubes avoiding
+/// OFF that cover at least one ON code).
+[[nodiscard]] std::vector<Cube> prime_implicants(const std::vector<Code>& on,
+                                                 const std::vector<Code>& off,
+                                                 std::size_t width,
+                                                 MinimizeOptions opts = {});
+
+/// A minimum-cardinality cover of ON by prime implicants.
+[[nodiscard]] Cover minimize_exact(const std::vector<Code>& on,
+                                   const std::vector<Code>& off,
+                                   std::size_t width, MinimizeOptions opts = {});
+
+/// Exact minimisation of a signal's next-state function (see
+/// LogicSynthesizer::synthesize for the greedy counterpart).
+[[nodiscard]] NextStateFunction synthesize_exact(const StateGraph& sg, SignalId z,
+                                                 MinimizeOptions opts = {});
+
+}  // namespace stgcc::stg

@@ -1,0 +1,66 @@
+// stgcc -- signals and transition labels of Signal Transition Graphs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace stgcc::stg {
+
+using SignalId = std::uint32_t;
+inline constexpr SignalId kNoSignal = static_cast<SignalId>(-1);
+
+/// Signals are partitioned into inputs (driven by the environment) and
+/// outputs/internals (driven by the circuit).  CSC and normalcy treat
+/// internal signals exactly like outputs (the paper: "the latter may also
+/// include internal signals").
+enum class SignalKind : std::uint8_t { Input, Output, Internal };
+
+[[nodiscard]] constexpr bool is_circuit_driven(SignalKind k) noexcept {
+    return k == SignalKind::Output || k == SignalKind::Internal;
+}
+
+/// Edge direction of a signal transition: z+ (0 -> 1) or z- (1 -> 0).
+enum class Polarity : std::uint8_t { Rising, Falling };
+
+[[nodiscard]] constexpr char polarity_char(Polarity p) noexcept {
+    return p == Polarity::Rising ? '+' : '-';
+}
+
+[[nodiscard]] constexpr Polarity opposite(Polarity p) noexcept {
+    return p == Polarity::Rising ? Polarity::Falling : Polarity::Rising;
+}
+
+/// The label of a non-dummy STG transition: a signal edge z+ / z-.
+struct Label {
+    SignalId signal = kNoSignal;
+    Polarity polarity = Polarity::Rising;
+
+    /// Contribution of this edge to the signal change vector: +1 or -1.
+    [[nodiscard]] int delta() const noexcept {
+        return polarity == Polarity::Rising ? +1 : -1;
+    }
+
+    friend bool operator==(const Label&, const Label&) = default;
+};
+
+/// Parse a label written as `name+` / `name-`, e.g. "dsr+".  Returns the
+/// signal name and polarity; throws ModelError on malformed input.
+struct ParsedLabel {
+    std::string signal_name;
+    Polarity polarity;
+};
+
+[[nodiscard]] inline ParsedLabel parse_label_text(const std::string& text) {
+    if (text.size() < 2)
+        throw ModelError("malformed signal-edge label: '" + text + "'");
+    const char last = text.back();
+    if (last != '+' && last != '-')
+        throw ModelError("signal-edge label must end in + or -: '" + text + "'");
+    return ParsedLabel{text.substr(0, text.size() - 1),
+                       last == '+' ? Polarity::Rising : Polarity::Falling};
+}
+
+}  // namespace stgcc::stg

@@ -1,0 +1,80 @@
+#include "stg/simulator.hpp"
+
+#include "unfolding/prefix_checks.hpp"
+#include "unfolding/unfolder.hpp"
+
+namespace stgcc::stg {
+
+Simulator::Simulator(const Stg& stg, Code initial_code)
+    : stg_(&stg),
+      initial_marking_(stg.system().initial_marking()),
+      initial_code_(std::move(initial_code)),
+      marking_(initial_marking_),
+      code_(initial_code_) {
+    STGCC_REQUIRE(initial_code_.size() == stg.num_signals());
+}
+
+bool Simulator::fire(petri::TransitionId t) {
+    if (!can_fire(t)) return false;
+    code_ = stg_->code_after(code_, t);  // throws on inconsistent edges
+    marking_ = stg_->system().fire(marking_, t);
+    trace_.push_back(t);
+    return true;
+}
+
+bool Simulator::fire_named(std::string_view name) {
+    const petri::TransitionId t = stg_->net().find_transition(name);
+    if (t == petri::kNoTransition) return false;
+    return fire(t);
+}
+
+std::size_t Simulator::replay(const std::vector<petri::TransitionId>& sequence) {
+    std::size_t fired = 0;
+    for (petri::TransitionId t : sequence) {
+        if (!fire(t)) break;
+        ++fired;
+    }
+    return fired;
+}
+
+bool Simulator::undo() {
+    if (trace_.empty()) return false;
+    std::vector<petri::TransitionId> shorter(trace_.begin(), trace_.end() - 1);
+    reset();
+    for (petri::TransitionId t : shorter) {
+        const bool ok = fire(t);
+        STGCC_ENSURE(ok);
+    }
+    return true;
+}
+
+void Simulator::reset() {
+    marking_ = initial_marking_;
+    code_ = initial_code_;
+    trace_.clear();
+}
+
+std::size_t Simulator::random_walk(std::size_t steps, std::mt19937& rng) {
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < steps; ++i) {
+        auto options = enabled();
+        if (options.empty()) break;
+        const std::size_t pick =
+            std::uniform_int_distribution<std::size_t>(0, options.size() - 1)(rng);
+        const bool ok = fire(options[pick]);
+        STGCC_ENSURE(ok);
+        ++fired;
+    }
+    return fired;
+}
+
+Simulator make_simulator(const Stg& stg) {
+    auto prefix = unf::unfold(stg.system());
+    auto consistency = unf::analyze_consistency(stg, prefix);
+    if (!consistency.consistent)
+        throw ModelError("cannot simulate inconsistent STG '" + stg.name() +
+                         "': " + consistency.reason);
+    return Simulator(stg, consistency.initial_code);
+}
+
+}  // namespace stgcc::stg

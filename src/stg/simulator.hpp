@@ -1,0 +1,73 @@
+// stgcc -- interactive token-game simulation of STGs.
+//
+// A Simulator owns a current marking and signal code, fires transitions by
+// id or by label text, records the trace, and supports undo/reset and
+// random walks.  Useful for exploring witnesses reported by the checkers
+// ("replay this path, then look around") and for randomized testing.
+#pragma once
+
+#include <optional>
+#include <random>
+#include <string_view>
+#include <vector>
+
+#include "stg/stg.hpp"
+
+namespace stgcc::stg {
+
+class Simulator {
+public:
+    /// `initial_code` is v0; obtain it from prefix consistency analysis or
+    /// a StateGraph (see make_simulator for the convenient path).
+    Simulator(const Stg& stg, Code initial_code);
+
+    [[nodiscard]] const Stg& stg() const noexcept { return *stg_; }
+    [[nodiscard]] const petri::Marking& marking() const noexcept { return marking_; }
+    [[nodiscard]] const Code& code() const noexcept { return code_; }
+    [[nodiscard]] const std::vector<petri::TransitionId>& trace() const noexcept {
+        return trace_;
+    }
+
+    [[nodiscard]] std::vector<petri::TransitionId> enabled() const {
+        return stg_->system().enabled_transitions(marking_);
+    }
+    [[nodiscard]] bool can_fire(petri::TransitionId t) const {
+        return stg_->system().enabled(marking_, t);
+    }
+    [[nodiscard]] bool deadlocked() const { return enabled().empty(); }
+
+    /// Fire a transition; returns false (and changes nothing) if disabled.
+    bool fire(petri::TransitionId t);
+
+    /// Fire by transition name ("dsr+", "lds+/2"); returns false when the
+    /// name is unknown or the transition is disabled.
+    bool fire_named(std::string_view name);
+
+    /// Replay a whole sequence; stops at the first disabled transition and
+    /// returns the number of transitions fired.
+    std::size_t replay(const std::vector<petri::TransitionId>& sequence);
+
+    /// Undo the last fired transition; returns false on an empty trace.
+    bool undo();
+
+    /// Back to the initial marking, clearing the trace.
+    void reset();
+
+    /// Fire up to `steps` uniformly random enabled transitions (stops early
+    /// on deadlock); returns the number fired.
+    std::size_t random_walk(std::size_t steps, std::mt19937& rng);
+
+private:
+    const Stg* stg_;
+    petri::Marking initial_marking_;
+    Code initial_code_;
+    petri::Marking marking_;
+    Code code_;
+    std::vector<petri::TransitionId> trace_;
+};
+
+/// Build a simulator for a consistent, dummy-free STG, deriving the initial
+/// code from the unfolding prefix (throws ModelError when inconsistent).
+[[nodiscard]] Simulator make_simulator(const Stg& stg);
+
+}  // namespace stgcc::stg

@@ -1,0 +1,22 @@
+// stgcc -- state-based (Petrify-style) baseline checkers.
+//
+// These operate on the fully constructed state graph and therefore pay the
+// state-space-explosion cost the paper's unfolding+IP method avoids; they
+// serve as the "Pfy" column of Table 1 and as ground truth in tests.
+#pragma once
+
+#include "stg/results.hpp"
+#include "stg/state_graph.hpp"
+
+namespace stgcc::stg {
+
+/// Check the Unique State Coding property on the state graph.
+[[nodiscard]] CodingCheckResult check_usc_sg(const StateGraph& sg);
+
+/// Check the Complete State Coding property on the state graph.
+[[nodiscard]] CodingCheckResult check_csc_sg(const StateGraph& sg);
+
+/// Check normalcy of every circuit-driven signal on the state graph.
+[[nodiscard]] NormalcyResult check_normalcy_sg(const StateGraph& sg);
+
+}  // namespace stgcc::stg

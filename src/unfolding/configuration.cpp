@@ -1,0 +1,75 @@
+#include "unfolding/configuration.hpp"
+
+#include <algorithm>
+
+namespace stgcc::unf {
+
+bool is_configuration(const Prefix& prefix, const BitVec& events) {
+    bool ok = true;
+    events.for_each([&](std::size_t e) {
+        if (!ok || e >= prefix.num_events()) {
+            ok = false;
+            return;
+        }
+        // Causal closure: [e] must be contained in the set.
+        if (!prefix.local_config(static_cast<EventId>(e)).subset_of(events)) ok = false;
+        // Conflict-freeness.
+        if (prefix.conflicts(static_cast<EventId>(e)).intersects(events)) ok = false;
+    });
+    return ok;
+}
+
+std::vector<ConditionId> cut_of(const Prefix& prefix, const BitVec& events) {
+    std::vector<bool> marked(prefix.num_conditions(), false);
+    for (ConditionId b : prefix.min_conditions()) marked[b] = true;
+    events.for_each([&](std::size_t e) {
+        for (ConditionId b : prefix.event(static_cast<EventId>(e)).postset)
+            marked[b] = true;
+    });
+    events.for_each([&](std::size_t e) {
+        for (ConditionId b : prefix.event(static_cast<EventId>(e)).preset) {
+            STGCC_ASSERT(marked[b]);
+            marked[b] = false;
+        }
+    });
+    std::vector<ConditionId> cut;
+    for (ConditionId b = 0; b < prefix.num_conditions(); ++b)
+        if (marked[b]) cut.push_back(b);
+    return cut;
+}
+
+petri::Marking marking_of(const Prefix& prefix, const BitVec& events) {
+    petri::Marking m(prefix.system().net().num_places());
+    for (ConditionId b : cut_of(prefix, events)) m.add(prefix.condition(b).place);
+    return m;
+}
+
+std::vector<EventId> linearize(const Prefix& prefix, const BitVec& events) {
+    std::vector<EventId> order;
+    events.for_each([&](std::size_t e) { order.push_back(static_cast<EventId>(e)); });
+    // Sorting by (Foata level, id) respects causality: a cause always has a
+    // strictly smaller level than its effect.
+    std::sort(order.begin(), order.end(), [&](EventId a, EventId b) {
+        const auto la = prefix.event(a).foata_level;
+        const auto lb = prefix.event(b).foata_level;
+        return la != lb ? la < lb : a < b;
+    });
+    return order;
+}
+
+petri::ParikhVector parikh_of(const Prefix& prefix, const BitVec& events) {
+    petri::ParikhVector x(prefix.system().net().num_transitions(), 0);
+    events.for_each(
+        [&](std::size_t e) { ++x[prefix.event(static_cast<EventId>(e)).transition]; });
+    return x;
+}
+
+std::vector<petri::TransitionId> firing_sequence_of(const Prefix& prefix,
+                                                    const BitVec& events) {
+    std::vector<petri::TransitionId> seq;
+    for (EventId e : linearize(prefix, events))
+        seq.push_back(prefix.event(e).transition);
+    return seq;
+}
+
+}  // namespace stgcc::unf

@@ -1,0 +1,140 @@
+// stgcc -- occurrence nets / branching-process prefixes.
+//
+// A Prefix is a finite branching process (B, E, G, h) of a net system,
+// produced by the Unfolder.  Besides the bipartite structure it stores the
+// derived relations the verification algorithms need:
+//   * per event, its local configuration [e] as a bit vector over events,
+//   * per event, the set of events it is in (structural) conflict with,
+//   * per event, its Foata level (causal depth),
+//   * the cut-off flag and companion event of the ERV algorithm.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "petri/net_system.hpp"
+#include "util/bitvec.hpp"
+
+namespace stgcc::unf {
+
+using ConditionId = std::uint32_t;
+using EventId = std::uint32_t;
+inline constexpr ConditionId kNoCondition = static_cast<ConditionId>(-1);
+inline constexpr EventId kNoEvent = static_cast<EventId>(-1);
+
+struct Condition {
+    petri::PlaceId place = petri::kNoPlace;  ///< h(b)
+    EventId producer = kNoEvent;             ///< unique producing event; kNoEvent for minimal conditions
+    std::vector<EventId> consumers;          ///< events with b in their preset
+};
+
+struct Event {
+    petri::TransitionId transition = petri::kNoTransition;  ///< h(e)
+    std::vector<ConditionId> preset;
+    std::vector<ConditionId> postset;
+    bool cutoff = false;
+    /// For cut-off events: the event f with Mark([f]) = Mark([e]) that made
+    /// this a cut-off, or kNoEvent when the companion is the (virtual) empty
+    /// configuration (Mark([e]) = M0).
+    EventId companion = kNoEvent;
+    std::uint32_t foata_level = 1;  ///< 1 + max level of causal predecessors
+};
+
+class Prefix {
+public:
+    explicit Prefix(const petri::NetSystem& sys) : sys_(&sys) {}
+
+    [[nodiscard]] const petri::NetSystem& system() const noexcept { return *sys_; }
+
+    [[nodiscard]] std::size_t num_conditions() const noexcept { return conditions_.size(); }
+    [[nodiscard]] std::size_t num_events() const noexcept { return events_.size(); }
+    [[nodiscard]] std::size_t num_cutoffs() const noexcept { return num_cutoffs_; }
+
+    [[nodiscard]] const Condition& condition(ConditionId b) const {
+        STGCC_REQUIRE(b < conditions_.size());
+        return conditions_[b];
+    }
+    [[nodiscard]] const Event& event(EventId e) const {
+        STGCC_REQUIRE(e < events_.size());
+        return events_[e];
+    }
+
+    /// Local configuration [e] as a bit vector over events (includes e).
+    [[nodiscard]] const BitVec& local_config(EventId e) const {
+        STGCC_REQUIRE(e < local_config_.size());
+        return local_config_[e];
+    }
+
+    /// Events in structural conflict with e (in either direction).
+    [[nodiscard]] const BitVec& conflicts(EventId e) const {
+        STGCC_REQUIRE(e < conflict_.size());
+        return conflict_[e];
+    }
+
+    /// Causal successor set of e: all events g with e in [g] (includes e).
+    [[nodiscard]] const BitVec& successors(EventId e) const {
+        STGCC_REQUIRE(e < succ_.size());
+        return succ_[e];
+    }
+
+    /// True when f is a causal predecessor of e (f < e, strict).
+    [[nodiscard]] bool causes(EventId f, EventId e) const {
+        return f != e && local_config_[e].test(f);
+    }
+
+    /// True when e and f are concurrent (can occur in one configuration,
+    /// neither causing the other).
+    [[nodiscard]] bool concurrent(EventId e, EventId f) const {
+        return e != f && !local_config_[e].test(f) && !local_config_[f].test(e) &&
+               !conflict_[e].test(f);
+    }
+
+    /// Minimal conditions (Min(ON)), representing the initial marking.
+    [[nodiscard]] const std::vector<ConditionId>& min_conditions() const noexcept {
+        return min_conditions_;
+    }
+
+    /// An all-zero event set with the same width as the internal relation
+    /// bit vectors; use for building configurations to pass to the helpers
+    /// in configuration.hpp.
+    [[nodiscard]] BitVec make_event_set() const {
+        return BitVec(std::max<std::size_t>(event_capacity_, 1));
+    }
+
+    /// Dot/debug rendering: event label like "e5:dsr+" using original names.
+    [[nodiscard]] std::string event_name(EventId e) const;
+    [[nodiscard]] std::string condition_name(ConditionId b) const;
+
+    /// Graphviz dot text of the prefix (cut-offs drawn double-boxed).
+    [[nodiscard]] std::string to_dot() const;
+
+    // --- construction interface (used by Unfolder) --------------------------
+
+    ConditionId add_condition(petri::PlaceId place, EventId producer);
+    /// Append an event; computes its local configuration, conflicts and
+    /// Foata level from the presets.  Postset conditions are added by the
+    /// caller afterwards via add_condition().
+    EventId add_event(petri::TransitionId transition, std::vector<ConditionId> preset);
+    void mark_cutoff(EventId e, EventId companion);
+    void add_min_condition(ConditionId b) { min_conditions_.push_back(b); }
+    void set_event_postset(EventId e, std::vector<ConditionId> postset) {
+        events_[e].postset = std::move(postset);
+    }
+
+private:
+    void ensure_event_capacity(std::size_t n);
+
+    const petri::NetSystem* sys_;
+    std::vector<Condition> conditions_;
+    std::vector<Event> events_;
+    std::vector<BitVec> local_config_;  // width = event capacity
+    std::vector<BitVec> conflict_;      // width = event capacity
+    std::vector<BitVec> succ_;          // width = event capacity
+    std::vector<ConditionId> min_conditions_;
+    std::size_t event_capacity_ = 0;
+    std::size_t num_cutoffs_ = 0;
+};
+
+}  // namespace stgcc::unf

@@ -1,0 +1,278 @@
+#include "unfolding/unfolder.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "unfolding/orders.hpp"
+#include "util/hash.hpp"
+
+namespace stgcc::unf {
+
+namespace {
+
+/// A reachable marking of the original net, in canonical (sorted multiset)
+/// form, used as the cut-off hash key.
+using MarkKey = std::vector<petri::PlaceId>;
+
+class UnfolderImpl {
+public:
+    UnfolderImpl(const petri::NetSystem& sys, UnfoldOptions opts)
+        : sys_(sys), opts_(opts), prefix_(sys) {}
+
+    Prefix run() {
+        seed_initial_conditions();
+        for (ConditionId b : prefix_.min_conditions()) extensions_from(b);
+
+        while (!queue_.empty()) {
+            Candidate cand = std::move(queue_.extract(queue_.begin()).value());
+            insert_event(std::move(cand));
+        }
+        return std::move(prefix_);
+    }
+
+private:
+    struct Candidate {
+        OrderKey key;
+        petri::TransitionId transition;
+        std::vector<ConditionId> preset;  // sorted
+        std::uint32_t cause_level;
+
+        friend bool operator<(const Candidate& a, const Candidate& b) {
+            if (auto c = a.key.compare(b.key); c != 0)
+                return c == std::strong_ordering::less;
+            if (a.transition != b.transition) return a.transition < b.transition;
+            return a.preset < b.preset;
+        }
+    };
+
+    void seed_initial_conditions() {
+        const petri::Marking& m0 = sys_.initial_marking();
+        std::vector<ConditionId> minimal;
+        for (petri::PlaceId p = 0; p < sys_.net().num_places(); ++p) {
+            if (m0[p] > 1)
+                throw ModelError(
+                    "unfolding requires a 1-safe net system (place " +
+                    sys_.net().place_name(p) + " initially holds " +
+                    std::to_string(m0[p]) + " tokens)");
+            for (std::uint32_t k = 0; k < m0[p]; ++k) {
+                const ConditionId b = prefix_.add_condition(p, kNoEvent);
+                prefix_.add_min_condition(b);
+                minimal.push_back(b);
+            }
+        }
+        // All minimal conditions are pairwise concurrent.
+        for (ConditionId b : minimal) register_condition(b);
+        for (ConditionId b : minimal)
+            for (ConditionId c : minimal)
+                if (b != c) co_[b].set(c);
+        const MarkKey initial = mark_key_of_marking(m0);
+        marking_table_.emplace(initial, kNoEvent);
+    }
+
+    MarkKey mark_key_of_marking(const petri::Marking& m) const {
+        MarkKey key;
+        for (petri::PlaceId p = 0; p < m.num_places(); ++p)
+            for (std::uint32_t k = 0; k < m[p]; ++k) key.push_back(p);
+        return key;
+    }
+
+    /// Marking Mark([e]) of the local configuration of event e, computed
+    /// from Cut([e]).
+    MarkKey mark_key_of_local_config(EventId e) {
+        const BitVec& cfg = prefix_.local_config(e);
+        // marked := Min u postsets(cfg) \ presets(cfg)
+        std::vector<ConditionId> marked;
+        for (ConditionId b : prefix_.min_conditions()) marked.push_back(b);
+        cfg.for_each([&](std::size_t f) {
+            for (ConditionId b : prefix_.event(static_cast<EventId>(f)).postset)
+                marked.push_back(b);
+        });
+        std::vector<char> consumed(prefix_.num_conditions(), 0);
+        cfg.for_each([&](std::size_t f) {
+            for (ConditionId b : prefix_.event(static_cast<EventId>(f)).preset)
+                consumed[b] = 1;
+        });
+        MarkKey key;
+        for (ConditionId b : marked)
+            if (!consumed[b]) key.push_back(prefix_.condition(b).place);
+        std::sort(key.begin(), key.end());
+        return key;
+    }
+
+    void ensure_condition_capacity(std::size_t n) {
+        if (n <= cond_capacity_) return;
+        std::size_t cap = cond_capacity_ == 0 ? 64 : cond_capacity_;
+        while (cap < n) cap *= 2;
+        cond_capacity_ = cap;
+        for (auto& v : co_) v.resize(cap);
+    }
+
+    /// Make the condition visible to the possible-extensions machinery.
+    void register_condition(ConditionId b) {
+        ensure_condition_capacity(b + 1);
+        co_.resize(std::max<std::size_t>(co_.size(), b + 1), BitVec(cond_capacity_));
+        by_place_.resize(sys_.net().num_places());
+        by_place_[prefix_.condition(b).place].push_back(b);
+    }
+
+    /// Compute the concurrency set of a freshly added condition b in the
+    /// postset of event e (standard incremental rule):
+    ///   co(b) = (intersection of co(c) for c in *e)  u  (e* \ {b}).
+    void compute_co(ConditionId b, EventId e,
+                    const std::vector<ConditionId>& siblings) {
+        const Event& ev = prefix_.event(e);
+        BitVec co(cond_capacity_);
+        bool first = true;
+        for (ConditionId c : ev.preset) {
+            if (first) {
+                co = co_[c];
+                co.resize(cond_capacity_);
+                first = false;
+            } else {
+                co &= co_[c];
+            }
+        }
+        for (ConditionId s : siblings)
+            if (s != b) co.set(s);
+        co_[b] = std::move(co);
+        // Symmetrise.
+        co_[b].for_each([&](std::size_t d) { co_[d].set(b); });
+        // 1-safety guard: two concurrent conditions of the same place mean
+        // the net is not safe, and the local-configuration cut-off criterion
+        // is complete only for safe nets -- refuse rather than miscompute.
+        const petri::PlaceId place = prefix_.condition(b).place;
+        for (ConditionId d : by_place_[place])
+            if (d != b && d < co_[b].size() && co_[b].test(d))
+                throw ModelError(
+                    "unfolding requires a 1-safe net system (place " +
+                    sys_.net().place_name(place) +
+                    " can hold two tokens simultaneously)");
+    }
+
+    /// Enumerate possible extensions whose preset contains condition b.
+    void extensions_from(ConditionId trigger) {
+        const petri::PlaceId p0 = prefix_.condition(trigger).place;
+        for (petri::TransitionId t : sys_.net().post_of_place(p0)) {
+            std::vector<petri::PlaceId> slots;
+            for (petri::PlaceId p : sys_.net().pre(t))
+                if (p != p0) slots.push_back(p);
+            std::vector<ConditionId> chosen{trigger};
+            BitVec mask = co_[trigger];
+            search_coset(t, slots, 0, chosen, mask);
+        }
+    }
+
+    void search_coset(petri::TransitionId t, const std::vector<petri::PlaceId>& slots,
+                      std::size_t slot, std::vector<ConditionId>& chosen,
+                      const BitVec& mask) {
+        if (slot == slots.size()) {
+            emit_candidate(t, chosen);
+            return;
+        }
+        for (ConditionId c : by_place_[slots[slot]]) {
+            if (c >= mask.size() || !mask.test(c)) continue;
+            chosen.push_back(c);
+            BitVec next = mask;
+            BitVec coc = co_[c];
+            coc.resize(next.size());
+            next &= coc;
+            search_coset(t, slots, slot + 1, chosen, next);
+            chosen.pop_back();
+        }
+    }
+
+    void emit_candidate(petri::TransitionId t, const std::vector<ConditionId>& preset) {
+        std::vector<ConditionId> sorted = preset;
+        std::sort(sorted.begin(), sorted.end());
+        if (!seen_.emplace(t, sorted).second) return;
+
+        // Causes = union of producers' local configurations.
+        BitVec causes(prefix_.num_events() == 0
+                          ? std::size_t{64}
+                          : prefix_.local_config(0).size());
+        std::uint32_t cause_level = 0;
+        for (ConditionId b : sorted) {
+            const EventId prod = prefix_.condition(b).producer;
+            if (prod == kNoEvent) continue;
+            BitVec lc = prefix_.local_config(prod);
+            if (lc.size() > causes.size()) causes.resize(lc.size());
+            lc.resize(causes.size());
+            causes |= lc;
+            cause_level = std::max(cause_level, prefix_.event(prod).foata_level);
+        }
+        Candidate cand;
+        cand.key = order_key_of_candidate(prefix_, causes, t, cause_level);
+        cand.transition = t;
+        cand.preset = std::move(sorted);
+        cand.cause_level = cause_level;
+        queue_.insert(std::move(cand));
+    }
+
+    void insert_event(Candidate cand) {
+        if (prefix_.num_events() >= opts_.max_events)
+            throw ModelError("unfolding: event limit exceeded (" +
+                             std::to_string(opts_.max_events) + "); unbounded net?");
+        const EventId e = prefix_.add_event(cand.transition, cand.preset);
+
+        // Add postset conditions (they belong to Cut([e])).
+        std::vector<ConditionId> postset;
+        for (petri::PlaceId p : sys_.net().post(cand.transition))
+            postset.push_back(prefix_.add_condition(p, e));
+        prefix_.set_event_postset(e, postset);
+        if (prefix_.num_conditions() > opts_.max_conditions)
+            throw ModelError("unfolding: condition limit exceeded");
+
+        // Cut-off test against markings of existing local configurations
+        // (and the initial marking).
+        const MarkKey mark = mark_key_of_local_config(e);
+        auto [it, inserted] = marking_table_.emplace(mark, e);
+
+        if (!inserted) {
+            bool is_cutoff = true;
+            if (opts_.order == AdequateOrder::McMillanSize) {
+                // McMillan's criterion needs a strictly smaller companion.
+                const std::size_t companion_size =
+                    it->second == kNoEvent
+                        ? 0
+                        : prefix_.local_config(it->second).count();
+                is_cutoff = companion_size < prefix_.local_config(e).count();
+            }
+            if (is_cutoff) {
+                // Cut-off: postset conditions stay invisible to the
+                // extensions machinery, so the unfolding stops beyond e.
+                prefix_.mark_cutoff(e, it->second);
+                return;
+            }
+        }
+
+        for (ConditionId b : postset) register_condition(b);
+        for (ConditionId b : postset) compute_co(b, e, postset);
+        for (ConditionId b : postset) extensions_from(b);
+    }
+
+    const petri::NetSystem& sys_;
+    UnfoldOptions opts_;
+    Prefix prefix_;
+    std::vector<BitVec> co_;  // concurrency relation over conditions
+    std::size_t cond_capacity_ = 0;
+    std::vector<std::vector<ConditionId>> by_place_;
+    std::set<Candidate> queue_;
+    std::set<std::pair<petri::TransitionId, std::vector<ConditionId>>> seen_;
+    std::map<MarkKey, EventId> marking_table_;
+};
+
+}  // namespace
+
+Prefix unfold(const petri::NetSystem& sys, UnfoldOptions opts) {
+    for (petri::TransitionId t = 0; t < sys.net().num_transitions(); ++t)
+        if (sys.net().pre(t).empty())
+            throw ModelError("unfolding requires every transition to have a "
+                             "non-empty preset (transition " +
+                             sys.net().transition_name(t) + ")");
+    return UnfolderImpl(sys, opts).run();
+}
+
+}  // namespace stgcc::unf

@@ -1,0 +1,60 @@
+// stgcc -- STG coding-conflict checker.
+// Lightweight contract-checking macros used across the library.
+//
+// STGCC_ASSERT   -- internal invariant; compiled out in NDEBUG builds.
+// STGCC_REQUIRE  -- precondition on public API; always checked, throws.
+// STGCC_ENSURE   -- postcondition / state check; always checked, throws.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace stgcc {
+
+/// Exception thrown when a checked API contract is violated.
+class ContractViolation : public std::logic_error {
+public:
+    explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Exception thrown when an input model is malformed (parse errors,
+/// inconsistent STGs fed to checkers that require consistency, ...).
+class ModelError : public std::runtime_error {
+public:
+    explicit ModelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+    throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                            file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace stgcc
+
+#define STGCC_REQUIRE(expr)                                                     \
+    do {                                                                        \
+        if (!(expr))                                                            \
+            ::stgcc::detail::contract_fail("precondition", #expr, __FILE__,     \
+                                           __LINE__);                           \
+    } while (false)
+
+#define STGCC_ENSURE(expr)                                                      \
+    do {                                                                        \
+        if (!(expr))                                                            \
+            ::stgcc::detail::contract_fail("postcondition", #expr, __FILE__,    \
+                                           __LINE__);                           \
+    } while (false)
+
+#ifdef NDEBUG
+#define STGCC_ASSERT(expr) ((void)0)
+#else
+#define STGCC_ASSERT(expr)                                                      \
+    do {                                                                        \
+        if (!(expr))                                                            \
+            ::stgcc::detail::contract_fail("assertion", #expr, __FILE__,        \
+                                           __LINE__);                           \
+    } while (false)
+#endif

@@ -1,0 +1,218 @@
+// stgcc -- dynamic bit vector.
+//
+// Used throughout the library for signal code vectors, causality / conflict /
+// concurrency relations over unfolding events and conditions, and
+// configuration membership sets.  The width is fixed at construction (or by
+// resize) and all binary operations require equal widths.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+
+namespace stgcc {
+
+class BitVec {
+public:
+    using Word = std::uint64_t;
+    static constexpr std::size_t kWordBits = 64;
+
+    BitVec() = default;
+
+    /// A vector of `size` bits, all zero.
+    explicit BitVec(std::size_t size)
+        : size_(size), words_((size + kWordBits - 1) / kWordBits, 0) {}
+
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+    /// Grow (or shrink) to `size` bits; new bits are zero.
+    void resize(std::size_t size) {
+        size_ = size;
+        words_.resize((size + kWordBits - 1) / kWordBits, 0);
+        clear_tail();
+    }
+
+    [[nodiscard]] bool test(std::size_t i) const {
+        STGCC_ASSERT(i < size_);
+        return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+    }
+
+    void set(std::size_t i) {
+        STGCC_ASSERT(i < size_);
+        words_[i / kWordBits] |= Word{1} << (i % kWordBits);
+    }
+
+    void reset(std::size_t i) {
+        STGCC_ASSERT(i < size_);
+        words_[i / kWordBits] &= ~(Word{1} << (i % kWordBits));
+    }
+
+    void assign_bit(std::size_t i, bool value) {
+        if (value)
+            set(i);
+        else
+            reset(i);
+    }
+
+    void clear() {
+        for (Word& w : words_) w = 0;
+    }
+
+    void set_all() {
+        for (Word& w : words_) w = ~Word{0};
+        clear_tail();
+    }
+
+    /// Number of set bits.
+    [[nodiscard]] std::size_t count() const noexcept {
+        std::size_t n = 0;
+        for (Word w : words_) n += static_cast<std::size_t>(std::popcount(w));
+        return n;
+    }
+
+    [[nodiscard]] bool any() const noexcept {
+        for (Word w : words_)
+            if (w) return true;
+        return false;
+    }
+
+    [[nodiscard]] bool none() const noexcept { return !any(); }
+
+    /// Index of the lowest set bit, or size() when none.
+    [[nodiscard]] std::size_t find_first() const noexcept {
+        for (std::size_t wi = 0; wi < words_.size(); ++wi)
+            if (words_[wi])
+                return wi * kWordBits +
+                       static_cast<std::size_t>(std::countr_zero(words_[wi]));
+        return size_;
+    }
+
+    /// Index of the lowest set bit strictly above `i`, or size() when none.
+    [[nodiscard]] std::size_t find_next(std::size_t i) const noexcept {
+        ++i;
+        if (i >= size_) return size_;
+        std::size_t wi = i / kWordBits;
+        Word w = words_[wi] & (~Word{0} << (i % kWordBits));
+        while (true) {
+            if (w) return wi * kWordBits +
+                          static_cast<std::size_t>(std::countr_zero(w));
+            if (++wi >= words_.size()) return size_;
+            w = words_[wi];
+        }
+    }
+
+    BitVec& operator|=(const BitVec& o) {
+        STGCC_ASSERT(size_ == o.size_);
+        for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+        return *this;
+    }
+
+    BitVec& operator&=(const BitVec& o) {
+        STGCC_ASSERT(size_ == o.size_);
+        for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+        return *this;
+    }
+
+    BitVec& operator^=(const BitVec& o) {
+        STGCC_ASSERT(size_ == o.size_);
+        for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+        return *this;
+    }
+
+    /// this := this \ o  (and-not).
+    BitVec& subtract(const BitVec& o) {
+        STGCC_ASSERT(size_ == o.size_);
+        for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+        return *this;
+    }
+
+    friend BitVec operator|(BitVec a, const BitVec& b) { return a |= b; }
+    friend BitVec operator&(BitVec a, const BitVec& b) { return a &= b; }
+    friend BitVec operator^(BitVec a, const BitVec& b) { return a ^= b; }
+
+    /// True when this and o share at least one set bit.
+    [[nodiscard]] bool intersects(const BitVec& o) const {
+        STGCC_ASSERT(size_ == o.size_);
+        for (std::size_t i = 0; i < words_.size(); ++i)
+            if (words_[i] & o.words_[i]) return true;
+        return false;
+    }
+
+    /// True when every set bit of this is also set in o.
+    [[nodiscard]] bool subset_of(const BitVec& o) const {
+        STGCC_ASSERT(size_ == o.size_);
+        for (std::size_t i = 0; i < words_.size(); ++i)
+            if (words_[i] & ~o.words_[i]) return false;
+        return true;
+    }
+
+    friend bool operator==(const BitVec& a, const BitVec& b) {
+        return a.size_ == b.size_ && a.words_ == b.words_;
+    }
+
+    /// Total order: by size first, then lexicographic from bit 0 upward with
+    /// 0 < 1 (i.e. the vector that has its first differing bit clear is
+    /// smaller).  Used for canonical ordering of code vectors.
+    friend bool operator<(const BitVec& a, const BitVec& b) {
+        if (a.size_ != b.size_) return a.size_ < b.size_;
+        for (std::size_t i = 0; i < a.words_.size(); ++i) {
+            if (a.words_[i] != b.words_[i]) {
+                const Word diff = a.words_[i] ^ b.words_[i];
+                const int bit = std::countr_zero(diff);
+                return ((a.words_[i] >> bit) & 1u) == 0;
+            }
+        }
+        return false;
+    }
+
+    [[nodiscard]] std::size_t hash() const noexcept {
+        return hash_range(words_.begin(), words_.end());
+    }
+
+    /// Render as a 0/1 string, bit 0 first (matching signal order in codes).
+    [[nodiscard]] std::string to_string() const {
+        std::string s;
+        s.reserve(size_);
+        for (std::size_t i = 0; i < size_; ++i) s.push_back(test(i) ? '1' : '0');
+        return s;
+    }
+
+    /// Call `fn(i)` for each set bit in increasing order.
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+        for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+            Word w = words_[wi];
+            while (w) {
+                const int bit = std::countr_zero(w);
+                fn(wi * kWordBits + static_cast<std::size_t>(bit));
+                w &= w - 1;
+            }
+        }
+    }
+
+    friend std::ostream& operator<<(std::ostream& os, const BitVec& v) {
+        return os << v.to_string();
+    }
+
+private:
+    void clear_tail() {
+        const std::size_t tail = size_ % kWordBits;
+        if (tail != 0 && !words_.empty())
+            words_.back() &= (Word{1} << tail) - 1;
+    }
+
+    std::size_t size_ = 0;
+    std::vector<Word> words_;
+};
+
+struct BitVecHash {
+    std::size_t operator()(const BitVec& v) const noexcept { return v.hash(); }
+};
+
+}  // namespace stgcc

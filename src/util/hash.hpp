@@ -1,0 +1,32 @@
+// stgcc -- hashing helpers shared by marking tables, prefix tables, etc.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace stgcc {
+
+/// Combine a hash value into a running seed (boost-style mix).
+inline void hash_combine(std::size_t& seed, std::size_t value) noexcept {
+    seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hash a contiguous range of trivially hashable integers.
+template <typename It>
+std::size_t hash_range(It first, It last) noexcept {
+    std::size_t seed = 0xcbf29ce484222325ULL;
+    for (; first != last; ++first)
+        hash_combine(seed, std::hash<std::decay_t<decltype(*first)>>{}(*first));
+    return seed;
+}
+
+template <typename T>
+struct VectorHash {
+    std::size_t operator()(const std::vector<T>& v) const noexcept {
+        return hash_range(v.begin(), v.end());
+    }
+};
+
+}  // namespace stgcc

@@ -1,0 +1,27 @@
+// stgcc -- simple wall-clock stopwatch for benches and reports.
+#pragma once
+
+#include <chrono>
+
+namespace stgcc {
+
+class Stopwatch {
+public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    void reset() { start_ = Clock::now(); }
+
+    /// Elapsed time in seconds since construction or the last reset().
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /// Elapsed time in milliseconds.
+    [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace stgcc

@@ -1,0 +1,168 @@
+#include "stg/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "petri/reachability.hpp"
+#include "stg/state_checks.hpp"
+#include "stg/state_graph.hpp"
+
+namespace stgcc::stg::bench {
+namespace {
+
+/// Every benchmark model must be a well-formed specification: safe,
+/// deadlock-free and consistent.
+void expect_well_formed(const Stg& model) {
+    StateGraph sg(model);
+    EXPECT_TRUE(sg.graph().is_safe()) << model.name();
+    EXPECT_TRUE(sg.graph().deadlocks().empty()) << model.name();
+    ASSERT_TRUE(sg.consistent()) << model.name() << ": "
+                                 << sg.inconsistency_reason();
+}
+
+TEST(Benchmarks, VmeWellFormedAndSized) {
+    auto model = vme_bus();
+    expect_well_formed(model);
+    EXPECT_EQ(model.net().num_transitions(), 10u);
+    EXPECT_EQ(model.num_signals(), 5u);
+    StateGraph sg(model);
+    EXPECT_EQ(sg.num_states(), 14u);
+}
+
+TEST(Benchmarks, VmeCscResolvedWellFormed) {
+    auto model = vme_bus_csc_resolved();
+    expect_well_formed(model);
+    EXPECT_NE(model.find_signal("csc"), kNoSignal);
+    EXPECT_EQ(model.signal_kind(model.find_signal("csc")), SignalKind::Internal);
+}
+
+TEST(Benchmarks, ParallelHandshakesScaling) {
+    for (int n = 1; n <= 4; ++n) {
+        auto model = parallel_handshakes(n);
+        expect_well_formed(model);
+        EXPECT_EQ(model.num_signals(), static_cast<std::size_t>(2 * n));
+        StateGraph sg(model);
+        std::size_t expected = 1;
+        for (int i = 0; i < n; ++i) expected *= 4;
+        EXPECT_EQ(sg.num_states(), expected);
+    }
+}
+
+TEST(Benchmarks, SequentialHandshakesLinear) {
+    for (int n = 1; n <= 4; ++n) {
+        auto model = sequential_handshakes(n);
+        expect_well_formed(model);
+        StateGraph sg(model);
+        EXPECT_EQ(sg.num_states(), static_cast<std::size_t>(4 * n));
+    }
+}
+
+TEST(Benchmarks, JohnsonCounterHasDistinctCodes) {
+    auto model = johnson_counter(5);
+    expect_well_formed(model);
+    StateGraph sg(model);
+    EXPECT_EQ(sg.num_states(), 10u);
+    EXPECT_TRUE(check_usc_sg(sg).holds);
+}
+
+TEST(Benchmarks, PhaseEnvelopeHasCscConflict) {
+    for (int rounds = 1; rounds <= 3; ++rounds) {
+        auto model = phase_envelope(rounds);
+        expect_well_formed(model);
+        StateGraph sg(model);
+        EXPECT_FALSE(check_csc_sg(sg).holds) << "rounds=" << rounds;
+    }
+}
+
+TEST(Benchmarks, MullerPipelineConflictFree) {
+    for (int n = 1; n <= 5; ++n) {
+        auto model = muller_pipeline(n);
+        expect_well_formed(model);
+        StateGraph sg(model);
+        EXPECT_TRUE(check_usc_sg(sg).holds) << "n=" << n;
+        EXPECT_TRUE(check_csc_sg(sg).holds) << "n=" << n;
+    }
+}
+
+TEST(Benchmarks, HandshakePipelineWellFormed) {
+    for (int n = 1; n <= 4; ++n) expect_well_formed(handshake_pipeline(n));
+}
+
+TEST(Benchmarks, TokenRingHasClassicConflicts) {
+    for (int stations = 2; stations <= 4; ++stations) {
+        auto model = token_ring(stations);
+        expect_well_formed(model);
+        StateGraph sg(model);
+        EXPECT_FALSE(check_usc_sg(sg).holds);
+        EXPECT_FALSE(check_csc_sg(sg).holds);
+    }
+}
+
+TEST(Benchmarks, SingleStationRingStillConflicting) {
+    // Even one station loses information: "token waiting" and "token about
+    // to be passed" both carry the all-zero code.
+    auto model = token_ring(1);
+    expect_well_formed(model);
+    StateGraph sg(model);
+    EXPECT_FALSE(check_usc_sg(sg).holds);
+}
+
+TEST(Benchmarks, DuplexDirectionCodingResolvesConflicts) {
+    auto uncoded = duplex_channel(2, false);
+    auto coded = duplex_channel(2, true);
+    expect_well_formed(uncoded);
+    expect_well_formed(coded);
+    StateGraph sg1(uncoded), sg2(coded);
+    EXPECT_FALSE(check_csc_sg(sg1).holds);
+    EXPECT_TRUE(check_csc_sg(sg2).holds);
+}
+
+TEST(Benchmarks, DuplexPowerControlVariant) {
+    auto model = duplex_channel(1, false, true);
+    expect_well_formed(model);
+    EXPECT_NE(model.find_signal("apc"), kNoSignal);
+    EXPECT_NE(model.find_signal("bpc"), kNoSignal);
+}
+
+TEST(Benchmarks, CounterflowConflictFree) {
+    for (bool symmetric : {true, false}) {
+        auto model = counterflow(3, symmetric);
+        expect_well_formed(model);
+        StateGraph sg(model);
+        EXPECT_TRUE(check_usc_sg(sg).holds) << model.name();
+        EXPECT_TRUE(check_csc_sg(sg).holds) << model.name();
+    }
+}
+
+TEST(Benchmarks, MutexArbiterConflictFreeDespiteChoices) {
+    for (int n = 1; n <= 4; ++n) {
+        auto model = mutex_arbiter(n);
+        expect_well_formed(model);
+        StateGraph sg(model);
+        EXPECT_TRUE(check_usc_sg(sg).holds) << "n=" << n;
+        EXPECT_TRUE(check_csc_sg(sg).holds) << "n=" << n;
+    }
+}
+
+TEST(Benchmarks, Table1SuiteShape) {
+    auto suite = table1_suite();
+    EXPECT_EQ(suite.size(), 15u);  // one per row of the paper's table
+    std::size_t conflict_free = 0;
+    for (const auto& nb : suite)
+        if (nb.expect_conflict_free) ++conflict_free;
+    EXPECT_EQ(conflict_free, 6u);  // the bottom half: CF-* rows
+}
+
+class Table1RowTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Table1RowTest, RowWellFormedAndConflictStatusAsLabelled) {
+    auto suite = table1_suite();
+    const auto& nb = suite[static_cast<std::size_t>(GetParam())];
+    expect_well_formed(nb.stg);
+    StateGraph sg(nb.stg);
+    EXPECT_EQ(check_csc_sg(sg).holds, nb.expect_conflict_free) << nb.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, Table1RowTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace stgcc::stg::bench

@@ -1,0 +1,182 @@
+#include "util/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace stgcc {
+namespace {
+
+TEST(BitVec, StartsEmpty) {
+    BitVec v(100);
+    EXPECT_EQ(v.size(), 100u);
+    EXPECT_EQ(v.count(), 0u);
+    EXPECT_TRUE(v.none());
+    EXPECT_FALSE(v.any());
+    for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(v.test(i));
+}
+
+TEST(BitVec, SetResetAssign) {
+    BitVec v(70);
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v.set(69);
+    EXPECT_TRUE(v.test(0));
+    EXPECT_TRUE(v.test(63));
+    EXPECT_TRUE(v.test(64));
+    EXPECT_TRUE(v.test(69));
+    EXPECT_EQ(v.count(), 4u);
+    v.reset(63);
+    EXPECT_FALSE(v.test(63));
+    v.assign_bit(5, true);
+    EXPECT_TRUE(v.test(5));
+    v.assign_bit(5, false);
+    EXPECT_FALSE(v.test(5));
+}
+
+TEST(BitVec, FindFirstAndNext) {
+    BitVec v(200);
+    EXPECT_EQ(v.find_first(), 200u);
+    v.set(3);
+    v.set(64);
+    v.set(199);
+    EXPECT_EQ(v.find_first(), 3u);
+    EXPECT_EQ(v.find_next(3), 64u);
+    EXPECT_EQ(v.find_next(64), 199u);
+    EXPECT_EQ(v.find_next(199), 200u);
+    EXPECT_EQ(v.find_next(0), 3u);
+}
+
+TEST(BitVec, BooleanOps) {
+    BitVec a(130), b(130);
+    a.set(1);
+    a.set(100);
+    b.set(100);
+    b.set(129);
+    BitVec u = a | b;
+    EXPECT_EQ(u.count(), 3u);
+    BitVec i = a & b;
+    EXPECT_EQ(i.count(), 1u);
+    EXPECT_TRUE(i.test(100));
+    BitVec x = a ^ b;
+    EXPECT_EQ(x.count(), 2u);
+    EXPECT_TRUE(x.test(1));
+    EXPECT_TRUE(x.test(129));
+    BitVec d = a;
+    d.subtract(b);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_TRUE(d.test(1));
+}
+
+TEST(BitVec, SubsetAndIntersects) {
+    BitVec a(66), b(66);
+    a.set(2);
+    b.set(2);
+    b.set(65);
+    EXPECT_TRUE(a.subset_of(b));
+    EXPECT_FALSE(b.subset_of(a));
+    EXPECT_TRUE(a.intersects(b));
+    BitVec c(66);
+    c.set(30);
+    EXPECT_FALSE(a.intersects(c));
+    EXPECT_TRUE(BitVec(66).subset_of(a));
+}
+
+TEST(BitVec, ResizePreservesAndClearsTail) {
+    BitVec v(10);
+    v.set(9);
+    v.resize(100);
+    EXPECT_TRUE(v.test(9));
+    EXPECT_EQ(v.count(), 1u);
+    v.set(99);
+    v.resize(50);
+    EXPECT_EQ(v.count(), 1u);  // bit 99 dropped
+    v.resize(128);
+    EXPECT_EQ(v.count(), 1u);  // tail was cleared, nothing reappears
+}
+
+TEST(BitVec, SetAllRespectsWidth) {
+    BitVec v(67);
+    v.set_all();
+    EXPECT_EQ(v.count(), 67u);
+    v.resize(130);
+    EXPECT_EQ(v.count(), 67u);
+}
+
+TEST(BitVec, EqualityAndHash) {
+    BitVec a(40), b(40);
+    a.set(7);
+    b.set(7);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+    b.set(8);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(BitVec, LexicographicOrder) {
+    BitVec a(8), b(8);
+    // a = 01000000, b = 10000000 : first differing bit is 0, a has it clear.
+    a.set(1);
+    b.set(0);
+    EXPECT_TRUE(a < b);
+    EXPECT_FALSE(b < a);
+    EXPECT_FALSE(a < a);
+    BitVec shorter(4);
+    EXPECT_TRUE(shorter < a);  // size first
+}
+
+TEST(BitVec, ForEachVisitsInOrder) {
+    BitVec v(300);
+    std::set<std::size_t> expected = {0, 63, 64, 65, 128, 299};
+    for (auto i : expected) v.set(i);
+    std::vector<std::size_t> seen;
+    v.for_each([&](std::size_t i) { seen.push_back(i); });
+    EXPECT_EQ(seen, std::vector<std::size_t>(expected.begin(), expected.end()));
+}
+
+TEST(BitVec, ToString) {
+    BitVec v(5);
+    v.set(0);
+    v.set(3);
+    EXPECT_EQ(v.to_string(), "10010");
+}
+
+class BitVecRandomTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitVecRandomTest, OpsMatchSetSemantics) {
+    std::mt19937 rng(GetParam());
+    const std::size_t n = 1 + rng() % 200;
+    BitVec a(n), b(n);
+    std::set<std::size_t> sa, sb;
+    for (std::size_t k = 0; k < n; ++k) {
+        if (rng() % 2) {
+            a.set(k);
+            sa.insert(k);
+        }
+        if (rng() % 2) {
+            b.set(k);
+            sb.insert(k);
+        }
+    }
+    EXPECT_EQ(a.count(), sa.size());
+    BitVec u = a | b;
+    std::set<std::size_t> su = sa;
+    su.insert(sb.begin(), sb.end());
+    EXPECT_EQ(u.count(), su.size());
+    BitVec i = a & b;
+    std::size_t ni = 0;
+    for (auto k : sa) ni += sb.count(k);
+    EXPECT_EQ(i.count(), ni);
+    bool subset = true;
+    for (auto k : sa)
+        if (!sb.count(k)) subset = false;
+    EXPECT_EQ(a.subset_of(b), subset);
+    EXPECT_EQ(a.intersects(b), ni > 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVecRandomTest, ::testing::Range(0u, 20u));
+
+}  // namespace
+}  // namespace stgcc

@@ -1,0 +1,127 @@
+#include "stg/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stgcc::stg {
+namespace {
+
+TEST(Builder, ImplicitPlacesBetweenTransitions) {
+    StgBuilder b("t");
+    b.input("a").output("b");
+    b.arc("a+", "b+").arc("b+", "a-").arc("a-", "b-").arc("b-", "a+");
+    b.token_between("b-", "a+");
+    Stg stg = b.build();
+    EXPECT_EQ(stg.net().num_places(), 4u);
+    EXPECT_EQ(stg.net().num_transitions(), 4u);
+    const auto p = stg.net().find_place("<b-,a+>");
+    ASSERT_NE(p, petri::kNoPlace);
+    EXPECT_EQ(stg.system().initial_marking()[p], 1u);
+    EXPECT_EQ(stg.system().initial_marking().total_tokens(), 1u);
+}
+
+TEST(Builder, ExplicitPlaces) {
+    StgBuilder b("t");
+    b.input("a");
+    b.place("p", 1);
+    b.arc("p", "a+").arc("a+", "a-").arc("a-", "p");
+    Stg stg = b.build();
+    const auto p = stg.net().find_place("p");
+    EXPECT_EQ(stg.system().initial_marking()[p], 1u);
+    // a- gets the implicit place from a+.
+    EXPECT_NE(stg.net().find_place("<a+,a->"), petri::kNoPlace);
+}
+
+TEST(Builder, InstanceSuffixesCreateDistinctTransitions) {
+    StgBuilder b("t");
+    b.input("a").output("b");
+    b.arc("a+/1", "b+").arc("b+", "a-").arc("a-", "a+/2").arc("a+/2", "b-");
+    b.arc("b-", "a-/2").arc("a-/2", "a+/1");
+    b.token_between("a-/2", "a+/1");
+    Stg stg = b.build();
+    EXPECT_EQ(stg.net().num_transitions(), 6u);
+    const auto t1 = stg.net().find_transition("a+/1");
+    const auto t2 = stg.net().find_transition("a+/2");
+    ASSERT_NE(t1, petri::kNoTransition);
+    ASSERT_NE(t2, petri::kNoTransition);
+    EXPECT_NE(t1, t2);
+    EXPECT_EQ(stg.label(t1), stg.label(t2));
+}
+
+TEST(Builder, ChainHelper) {
+    StgBuilder b("t");
+    b.input("a").output("b");
+    b.chain({"a+", "b+", "a-", "b-", "a+"});
+    b.token_between("b-", "a+");
+    Stg stg = b.build();
+    EXPECT_EQ(stg.net().num_places(), 4u);
+}
+
+TEST(Builder, DummyTransitions) {
+    StgBuilder b("t");
+    b.input("a").dummy("eps");
+    b.arc("a+", "eps").arc("eps", "a-").arc("a-", "a+");
+    b.token_between("a-", "a+");
+    Stg stg = b.build();
+    EXPECT_TRUE(stg.has_dummies());
+    EXPECT_TRUE(stg.is_dummy(stg.net().find_transition("eps")));
+}
+
+TEST(Builder, UndeclaredSignalRejected) {
+    StgBuilder b("t");
+    b.input("a");
+    EXPECT_THROW(b.arc("a+", "b+"), ModelError);
+}
+
+TEST(Builder, DuplicateDeclarationsRejected) {
+    StgBuilder b("t");
+    b.input("a");
+    EXPECT_THROW(b.input("a"), ModelError);
+    EXPECT_THROW(b.dummy("a"), ModelError);
+    b.place("p");
+    EXPECT_THROW(b.place("p"), ModelError);
+}
+
+TEST(Builder, ArcBetweenPlacesRejected) {
+    StgBuilder b("t");
+    b.place("p").place("q");
+    EXPECT_THROW(b.arc("p", "q"), ModelError);
+}
+
+TEST(Builder, TokenOnMissingImplicitPlaceRejected) {
+    StgBuilder b("t");
+    b.input("a").output("b");
+    b.arc("a+", "b+");
+    EXPECT_THROW(b.token_between("b+", "a+"), ModelError);
+}
+
+TEST(Builder, EmptyPresetRejectedAtBuild) {
+    StgBuilder b("t");
+    b.input("a");
+    b.place("p");
+    b.arc("a+", "p");  // a+ has no input place
+    EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST(Builder, EmptyPostsetRejectedAtBuild) {
+    StgBuilder b("t");
+    b.input("a");
+    b.place("p", 1);
+    b.arc("p", "a+");  // a+ has no output place
+    EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST(Builder, UnknownPlaceInTokens) {
+    StgBuilder b("t");
+    EXPECT_THROW(b.tokens("nope", 1), ModelError);
+}
+
+TEST(Builder, ModelName) {
+    StgBuilder b("my-model");
+    b.input("a");
+    b.arc("a+", "a-").arc("a-", "a+");
+    b.token_between("a-", "a+");
+    EXPECT_EQ(b.build().name(), "my-model");
+}
+
+}  // namespace
+}  // namespace stgcc::stg

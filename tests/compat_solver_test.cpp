@@ -1,0 +1,241 @@
+#include "core/compat_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stg/benchmarks.hpp"
+#include "unfolding/configuration.hpp"
+#include "unfolding/unfolder.hpp"
+#include "test_util.hpp"
+
+namespace stgcc::core {
+namespace {
+
+/// Enumerate all cut-off-free configurations of a prefix by brute force.
+std::vector<BitVec> all_dense_configs(const CodingProblem& problem) {
+    const std::size_t q = problem.size();
+    std::vector<BitVec> out;
+    // 2^q subsets; only call on tiny problems.
+    for (std::size_t mask = 0; mask < (std::size_t{1} << q); ++mask) {
+        BitVec dense(q);
+        for (std::size_t i = 0; i < q; ++i)
+            if ((mask >> i) & 1) dense.set(i);
+        // Validity: causally closed and conflict-free.
+        bool ok = true;
+        for (std::size_t i = 0; i < q && ok; ++i) {
+            if (!dense.test(i)) continue;
+            if (!problem.preds(i).subset_of(dense)) ok = false;
+            if (problem.conflicts(i).intersects(dense)) ok = false;
+        }
+        if (ok) out.push_back(dense);
+    }
+    return out;
+}
+
+TEST(CompatSolver, SolutionsAreValidConfigurationPairs) {
+    auto model = test::tiny_conflict();
+    auto prefix = unf::unfold(model.system());
+    CodingProblem problem(model, prefix);
+    CompatSolver solver(problem);
+    auto outcome = solver.solve(
+        CodeRelation::Equal, [&](const BitVec& ca, const BitVec& cb) {
+            EXPECT_TRUE(unf::is_configuration(prefix, problem.to_event_set(ca)));
+            EXPECT_TRUE(unf::is_configuration(prefix, problem.to_event_set(cb)));
+            EXPECT_FALSE(ca == cb);
+            EXPECT_EQ(problem.code_of(ca), problem.code_of(cb));
+            return false;  // enumerate everything
+        });
+    EXPECT_FALSE(outcome.found);
+    EXPECT_GT(outcome.stats.leaves, 0u);
+}
+
+TEST(CompatSolver, EnumeratesEachDistinctPairOnce) {
+    // Cross-check the first-difference enumeration against brute force on
+    // small prefixes: every unordered pair of distinct configurations with
+    // equal codes must be visited exactly once.
+    std::vector<stg::Stg> models;
+    models.push_back(test::tiny_handshake());           // no equal-code pairs
+    models.push_back(stg::bench::sequential_handshakes(2));  // several
+    models.push_back(stg::bench::parallel_handshakes(2));
+    for (const auto& model : models) {
+        auto prefix = unf::unfold(model.system());
+        CodingProblem problem(model, prefix);
+        ASSERT_LE(problem.size(), 16u) << model.name();
+
+        // Brute-force expected pairs.
+        auto configs = all_dense_configs(problem);
+        std::set<std::pair<std::string, std::string>> expected;
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            for (std::size_t j = i + 1; j < configs.size(); ++j)
+                if (problem.code_of(configs[i]) == problem.code_of(configs[j])) {
+                    auto a = configs[i].to_string(), b = configs[j].to_string();
+                    expected.insert({std::min(a, b), std::max(a, b)});
+                }
+
+        std::set<std::pair<std::string, std::string>> seen;
+        SearchOptions opts;
+        opts.use_conflict_free_optimisation = false;  // full pair enumeration
+        CompatSolver solver(problem, opts);
+        auto outcome = solver.solve(
+            CodeRelation::Equal, [&](const BitVec& ca, const BitVec& cb) {
+                auto a = ca.to_string(), b = cb.to_string();
+                auto [it, inserted] =
+                    seen.insert({std::min(a, b), std::max(a, b)});
+                EXPECT_TRUE(inserted)
+                    << "pair enumerated twice: " << a << " / " << b;
+                return false;
+            });
+        EXPECT_FALSE(outcome.found);
+        EXPECT_EQ(seen, expected) << model.name();
+    }
+}
+
+TEST(CompatSolver, FindsConflictAndStops) {
+    auto model = test::tiny_conflict();
+    auto prefix = unf::unfold(model.system());
+    CodingProblem problem(model, prefix);
+    CompatSolver solver(problem);
+    auto outcome = solver.solve(
+        CodeRelation::Equal, [&](const BitVec& ca, const BitVec& cb) {
+            return !(unf::marking_of(prefix, problem.to_event_set(ca)) ==
+                     unf::marking_of(prefix, problem.to_event_set(cb)));
+        });
+    EXPECT_TRUE(outcome.found);
+    EXPECT_FALSE(outcome.ca == outcome.cb);
+}
+
+TEST(CompatSolver, LessEqRelationEnforced) {
+    auto model = stg::bench::vme_bus();
+    auto prefix = unf::unfold(model.system());
+    CodingProblem problem(model, prefix);
+    CompatSolver solver(problem);
+    auto outcome = solver.solve(
+        CodeRelation::LessEq, [&](const BitVec& ca, const BitVec& cb) {
+            EXPECT_TRUE(problem.code_of(ca).subset_of(problem.code_of(cb)));
+            return false;
+        });
+    EXPECT_FALSE(outcome.found);
+    EXPECT_GT(outcome.stats.leaves, 0u);
+}
+
+TEST(CompatSolver, GreaterEqRelationEnforced) {
+    auto model = stg::bench::vme_bus();
+    auto prefix = unf::unfold(model.system());
+    CodingProblem problem(model, prefix);
+    CompatSolver solver(problem);
+    auto outcome = solver.solve(
+        CodeRelation::GreaterEq, [&](const BitVec& ca, const BitVec& cb) {
+            EXPECT_TRUE(problem.code_of(cb).subset_of(problem.code_of(ca)));
+            return false;
+        });
+    EXPECT_FALSE(outcome.found);
+}
+
+TEST(CompatSolver, ConflictFreeOptimisationRestrictsToSubsets) {
+    auto model = stg::bench::vme_bus();  // marked graph: optimisation applies
+    auto prefix = unf::unfold(model.system());
+    CodingProblem problem(model, prefix);
+    ASSERT_TRUE(problem.dynamically_conflict_free());
+    CompatSolver solver(problem);
+    auto outcome =
+        solver.solve(CodeRelation::Equal, [&](const BitVec& ca, const BitVec& cb) {
+            EXPECT_TRUE(ca.subset_of(cb));
+            return false;
+        });
+    EXPECT_FALSE(outcome.found);
+}
+
+TEST(CompatSolver, OptimisationPreservesUscVerdict) {
+    // Same verdict with and without the section 7 optimisation.
+    for (auto* make : {+[] { return stg::bench::vme_bus(); },
+                       +[] { return stg::bench::sequential_handshakes(2); },
+                       +[] { return stg::bench::muller_pipeline(2); }}) {
+        auto model = make();
+        auto prefix = unf::unfold(model.system());
+        CodingProblem problem(model, prefix);
+        auto usc_predicate = [&](const BitVec& ca, const BitVec& cb) {
+            return !(unf::marking_of(prefix, problem.to_event_set(ca)) ==
+                     unf::marking_of(prefix, problem.to_event_set(cb)));
+        };
+        SearchOptions with, without;
+        without.use_conflict_free_optimisation = false;
+        CompatSolver s1(problem, with), s2(problem, without);
+        auto r1 = s1.solve(CodeRelation::Equal, usc_predicate);
+        auto r2 = s2.solve(CodeRelation::Equal, usc_predicate);
+        EXPECT_EQ(r1.found, r2.found) << model.name();
+        // The optimisation must not explore more nodes.
+        if (!r1.found)
+            EXPECT_LE(r1.stats.search_nodes, r2.stats.search_nodes) << model.name();
+    }
+}
+
+TEST(CompatSolver, NodeLimitThrows) {
+    // phase_envelope has many equal-code configuration pairs, so rejecting
+    // every leaf forces real branching.
+    auto model = stg::bench::phase_envelope(3);
+    auto prefix = unf::unfold(model.system());
+    CodingProblem problem(model, prefix);
+    SearchOptions opts;
+    opts.max_nodes = 3;
+    CompatSolver solver(problem, opts);
+    EXPECT_THROW(
+        (void)solver.solve(CodeRelation::Equal,
+                           [](const BitVec&, const BitVec&) { return false; }),
+        ModelError);
+}
+
+TEST(CompatSolver, ParallelHandshakesDecidedByPropagationAlone) {
+    // In PAR(n) every cut-off-free configuration has a distinct code, and
+    // the per-signal interval propagation proves it without any branching.
+    auto model = stg::bench::parallel_handshakes(4);
+    auto prefix = unf::unfold(model.system());
+    CodingProblem problem(model, prefix);
+    CompatSolver solver(problem);
+    auto outcome = solver.solve(
+        CodeRelation::Equal,
+        [](const BitVec&, const BitVec&) { return true; });
+    EXPECT_FALSE(outcome.found);
+    EXPECT_EQ(outcome.stats.search_nodes, 0u);
+}
+
+TEST(CodingProblem, DensifiesCutoffs) {
+    auto model = stg::bench::vme_bus();
+    auto prefix = unf::unfold(model.system());
+    CodingProblem problem(model, prefix);
+    EXPECT_EQ(problem.size(), prefix.num_events() - prefix.num_cutoffs());
+    for (std::size_t i = 0; i < problem.size(); ++i)
+        EXPECT_FALSE(prefix.event(problem.event_of(i)).cutoff);
+}
+
+TEST(CodingProblem, CodeOfMatchesChangeVector) {
+    auto model = stg::bench::vme_bus();
+    auto prefix = unf::unfold(model.system());
+    CodingProblem problem(model, prefix);
+    for (std::size_t i = 0; i < problem.size(); ++i) {
+        BitVec dense(problem.size());
+        // Local configuration of the dense event, densified.
+        const unf::EventId e = problem.event_of(i);
+        dense.set(i);
+        problem.preds(i).for_each([&](std::size_t j) { dense.set(j); });
+        stg::Code code = problem.code_of(dense);
+        auto v = unf::change_vector_of(model, prefix, prefix.local_config(e));
+        for (stg::SignalId z = 0; z < model.num_signals(); ++z) {
+            const bool expected = (v[z] != 0);
+            EXPECT_EQ(code.test(z) != problem.initial_code().test(z), expected);
+        }
+    }
+}
+
+TEST(CodingProblem, InconsistentStgRejected) {
+    stg::StgBuilder b("bad");
+    b.input("a");
+    b.arc("a+/1", "a+/2").arc("a+/2", "a-").arc("a-", "a+/1");
+    b.token_between("a-", "a+/1");
+    auto model = b.build();
+    auto prefix = unf::unfold(model.system());
+    EXPECT_THROW(CodingProblem(model, prefix), ModelError);
+}
+
+}  // namespace
+}  // namespace stgcc::core

@@ -1,0 +1,93 @@
+#include "core/conflict_cores.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/checkers.hpp"
+#include "stg/benchmarks.hpp"
+#include "unfolding/unfolder.hpp"
+#include "test_util.hpp"
+
+namespace stgcc::core {
+namespace {
+
+TEST(ConflictCores, VmeCoreIsTheCycleBetweenTheTwoStates) {
+    auto model = stg::bench::vme_bus();
+    unf::Prefix prefix = unf::unfold(model.system());
+    CodingProblem problem(model, prefix);
+    auto report = collect_conflict_cores(problem);
+    ASSERT_FALSE(report.cores.empty());
+    // Every core consists of events whose signal changes cancel out.
+    for (const auto& core : report.cores) {
+        std::vector<int> delta(model.num_signals(), 0);
+        core.events.for_each([&](std::size_t e) {
+            const stg::Label l =
+                model.label(prefix.event(static_cast<unf::EventId>(e)).transition);
+            delta[l.signal] += l.delta();
+        });
+        for (int d : delta) EXPECT_EQ(d, 0);
+        EXPECT_GE(core.events.count(), 2u);
+    }
+    // At least one core is a CSC core (the paper's Fig. 1 conflict).
+    bool any_csc = false;
+    for (const auto& core : report.cores) any_csc |= core.is_csc;
+    EXPECT_TRUE(any_csc);
+}
+
+TEST(ConflictCores, ConflictFreeModelsHaveNone) {
+    for (auto* make : {+[] { return stg::bench::vme_bus_csc_resolved(); },
+                       +[] { return stg::bench::muller_pipeline(3); },
+                       +[] { return stg::bench::johnson_counter(4); }}) {
+        auto model = make();
+        unf::Prefix prefix = unf::unfold(model.system());
+        CodingProblem problem(model, prefix);
+        auto report = collect_conflict_cores(problem);
+        EXPECT_TRUE(report.cores.empty()) << model.name();
+        EXPECT_FALSE(report.truncated) << model.name();
+    }
+}
+
+TEST(ConflictCores, HeightMapCountsMembership) {
+    auto model = stg::bench::token_ring(2);
+    unf::Prefix prefix = unf::unfold(model.system());
+    CodingProblem problem(model, prefix);
+    auto report = collect_conflict_cores(problem, 16);
+    ASSERT_FALSE(report.cores.empty());
+    std::vector<std::size_t> recount(prefix.num_events(), 0);
+    for (const auto& core : report.cores)
+        core.events.for_each([&](std::size_t e) { ++recount[e]; });
+    EXPECT_EQ(recount, report.height);
+}
+
+TEST(ConflictCores, TruncationAtBudget) {
+    auto model = stg::bench::sequential_handshakes(4);  // many USC conflicts
+    unf::Prefix prefix = unf::unfold(model.system());
+    CodingProblem problem(model, prefix);
+    auto report = collect_conflict_cores(problem, 2);
+    EXPECT_EQ(report.cores.size(), 2u);
+    EXPECT_TRUE(report.truncated);
+}
+
+TEST(ConflictCores, EmptyIffUscHolds) {
+    for (unsigned seed = 8000; seed < 8020; ++seed) {
+        auto model = test::random_stg(seed);
+        unf::Prefix prefix = unf::unfold(model.system());
+        CodingProblem problem(model, prefix);
+        UnfoldingChecker checker(model, unf::unfold(model.system()));
+        auto report = collect_conflict_cores(problem, 1000);
+        EXPECT_EQ(report.cores.empty(), checker.check_usc().holds)
+            << "seed=" << seed;
+    }
+}
+
+TEST(ConflictCores, FormatContainsEventNames) {
+    auto model = stg::bench::vme_bus();
+    unf::Prefix prefix = unf::unfold(model.system());
+    CodingProblem problem(model, prefix);
+    auto report = collect_conflict_cores(problem);
+    const std::string text = format_height_map(problem, report);
+    EXPECT_NE(text.find("conflict core"), std::string::npos);
+    EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stgcc::core

@@ -1,0 +1,72 @@
+// Loads every .g file shipped in models/ and checks the documented facts:
+// the files parse, are consistent and safe, and their conflict status
+// matches the benchmark table.  Guards the shipped corpus against drift
+// from the in-code generators.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/checkers.hpp"
+#include "stg/astg.hpp"
+#include "stg/state_graph.hpp"
+
+#ifndef STGCC_MODELS_DIR
+#define STGCC_MODELS_DIR "models"
+#endif
+
+namespace stgcc {
+namespace {
+
+stg::Stg load(const std::string& name) {
+    return stg::load_astg_file(std::string(STGCC_MODELS_DIR) + "/" + name + ".g");
+}
+
+struct Expectation {
+    bool csc_holds;
+};
+
+const std::map<std::string, Expectation>& corpus() {
+    static const std::map<std::string, Expectation> table = {
+        {"vme", {false}},          {"vme_csc", {true}},
+        {"lazyring", {false}},     {"ring", {false}},
+        {"dup_4ph_a", {false}},    {"dup_4ph_b", {false}},
+        {"dup_4ph_mtr_a", {false}},{"dup_4ph_mtr_b", {false}},
+        {"dup_mod_a", {false}},    {"dup_mod_b", {false}},
+        {"dup_mod_c", {false}},    {"cf_sym_a_csc", {true}},
+        {"cf_sym_b_csc", {true}},  {"cf_sym_c_csc", {true}},
+        {"cf_sym_d_csc", {true}},  {"cf_asym_a_csc", {true}},
+        {"cf_asym_b_csc", {true}}, {"par4", {true}},
+        {"muller4", {true}},       {"seq4", {true}},
+        {"johnson4", {true}},      {"envelope2", {false}},
+    };
+    return table;
+}
+
+class CorpusTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusTest, FileMatchesDocumentedVerdict) {
+    stg::Stg model;
+    try {
+        model = load(GetParam());
+    } catch (const ModelError& ex) {
+        GTEST_SKIP() << "models/ not found relative to CWD: " << ex.what();
+    }
+    stg::StateGraph sg(model);
+    ASSERT_TRUE(sg.consistent()) << sg.inconsistency_reason();
+    EXPECT_TRUE(sg.graph().is_safe());
+    EXPECT_TRUE(sg.graph().deadlocks().empty());
+    core::UnfoldingChecker checker(model);
+    EXPECT_EQ(checker.check_csc().holds, corpus().at(GetParam()).csc_holds);
+}
+
+std::vector<std::string> corpus_names() {
+    std::vector<std::string> names;
+    for (const auto& [name, _] : corpus()) names.push_back(name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFiles, CorpusTest,
+                         ::testing::ValuesIn(corpus_names()));
+
+}  // namespace
+}  // namespace stgcc

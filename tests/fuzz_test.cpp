@@ -1,0 +1,101 @@
+// Robustness tests: the text-format parsers must never crash or corrupt
+// state on malformed input -- every failure mode is a thrown ModelError
+// (or a successful parse of a still-valid mutation).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "petri/pnml.hpp"
+#include "stg/astg.hpp"
+#include "stg/benchmarks.hpp"
+
+namespace stgcc {
+namespace {
+
+std::string mutate(const std::string& text, std::mt19937& rng) {
+    std::string out = text;
+    const int kind = static_cast<int>(rng() % 5);
+    if (out.empty()) return out;
+    const std::size_t pos = rng() % out.size();
+    switch (kind) {
+        case 0:  // delete a span
+            out.erase(pos, 1 + rng() % 8);
+            break;
+        case 1:  // duplicate a span
+            out.insert(pos, out.substr(pos, 1 + rng() % 8));
+            break;
+        case 2:  // flip a character
+            out[pos] = static_cast<char>(' ' + rng() % 95);
+            break;
+        case 3:  // insert noise
+            out.insert(pos, std::string(1 + rng() % 5,
+                                        static_cast<char>(' ' + rng() % 95)));
+            break;
+        case 4:  // truncate
+            out.resize(pos);
+            break;
+    }
+    return out;
+}
+
+class AstgFuzzTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AstgFuzzTest, MutatedInputNeverCrashes) {
+    std::mt19937 rng(GetParam());
+    std::vector<std::string> corpus;
+    corpus.push_back(stg::write_astg_string(stg::bench::vme_bus()));
+    corpus.push_back(stg::write_astg_string(stg::bench::token_ring(2)));
+    corpus.push_back(
+        stg::write_astg_string(stg::bench::duplex_channel(1, false)));
+    for (int round = 0; round < 200; ++round) {
+        std::string text = corpus[rng() % corpus.size()];
+        const int mutations = 1 + static_cast<int>(rng() % 4);
+        for (int m = 0; m < mutations; ++m) text = mutate(text, rng);
+        try {
+            stg::Stg parsed = stg::parse_astg_string(text);
+            // A successful parse must yield a structurally sane STG.
+            for (petri::TransitionId t = 0; t < parsed.net().num_transitions();
+                 ++t) {
+                EXPECT_FALSE(parsed.net().pre(t).empty());
+                EXPECT_FALSE(parsed.net().post(t).empty());
+            }
+        } catch (const ModelError&) {
+            // expected failure mode
+        } catch (const ContractViolation& ex) {
+            FAIL() << "contract violation on fuzzed input: " << ex.what();
+        } catch (const std::invalid_argument&) {
+            // std::stoul on garbage counts: acceptable (documented numeric
+            // fields), but must not crash
+        } catch (const std::out_of_range&) {
+            // same
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AstgFuzzTest, ::testing::Range(0u, 10u));
+
+class PnmlFuzzTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PnmlFuzzTest, MutatedInputNeverCrashes) {
+    std::mt19937 rng(GetParam() + 777);
+    const std::string base =
+        petri::write_pnml_string(stg::bench::vme_bus().system());
+    for (int round = 0; round < 200; ++round) {
+        std::string text = base;
+        const int mutations = 1 + static_cast<int>(rng() % 4);
+        for (int m = 0; m < mutations; ++m) text = mutate(text, rng);
+        try {
+            auto sys = petri::parse_pnml_string(text);
+            EXPECT_LE(sys.initial_marking().num_places(),
+                      sys.net().num_places());
+        } catch (const ModelError&) {
+        } catch (const ContractViolation& ex) {
+            FAIL() << "contract violation on fuzzed input: " << ex.what();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PnmlFuzzTest, ::testing::Range(0u, 10u));
+
+}  // namespace
+}  // namespace stgcc

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "petri/net_system.hpp"
+
+namespace stgcc::petri {
+namespace {
+
+Net two_transition_net() {
+    Net net;
+    const PlaceId p0 = net.add_place("p0");
+    const PlaceId p1 = net.add_place("p1");
+    const PlaceId p2 = net.add_place("p2");
+    const TransitionId t0 = net.add_transition("t0");
+    const TransitionId t1 = net.add_transition("t1");
+    net.add_arc_pt(p0, t0);
+    net.add_arc_tp(t0, p1);
+    net.add_arc_pt(p1, t1);
+    net.add_arc_tp(t1, p2);
+    return net;
+}
+
+TEST(Net, ConstructionAndLookup) {
+    Net net = two_transition_net();
+    EXPECT_EQ(net.num_places(), 3u);
+    EXPECT_EQ(net.num_transitions(), 2u);
+    EXPECT_EQ(net.num_arcs(), 4u);
+    EXPECT_EQ(net.find_place("p1"), 1u);
+    EXPECT_EQ(net.find_place("zzz"), kNoPlace);
+    EXPECT_EQ(net.find_transition("t0"), 0u);
+    EXPECT_EQ(net.find_transition("nope"), kNoTransition);
+    EXPECT_EQ(net.place_name(2), "p2");
+    EXPECT_EQ(net.transition_name(1), "t1");
+}
+
+TEST(Net, PrePostSets) {
+    Net net = two_transition_net();
+    ASSERT_EQ(net.pre(0).size(), 1u);
+    EXPECT_EQ(net.pre(0)[0], net.find_place("p0"));
+    ASSERT_EQ(net.post(0).size(), 1u);
+    EXPECT_EQ(net.post(0)[0], net.find_place("p1"));
+    ASSERT_EQ(net.pre_of_place(1).size(), 1u);
+    EXPECT_EQ(net.pre_of_place(1)[0], 0u);
+    ASSERT_EQ(net.post_of_place(1).size(), 1u);
+    EXPECT_EQ(net.post_of_place(1)[0], 1u);
+}
+
+TEST(Net, DuplicateNamesRejected) {
+    Net net;
+    net.add_place("p");
+    EXPECT_THROW(net.add_place("p"), ContractViolation);
+    net.add_transition("t");
+    EXPECT_THROW(net.add_transition("t"), ContractViolation);
+}
+
+TEST(Net, DuplicateArcsRejected) {
+    Net net;
+    const PlaceId p = net.add_place("p");
+    const TransitionId t = net.add_transition("t");
+    net.add_arc_pt(p, t);
+    EXPECT_THROW(net.add_arc_pt(p, t), ContractViolation);
+    net.add_arc_tp(t, p);
+    EXPECT_THROW(net.add_arc_tp(t, p), ContractViolation);
+}
+
+TEST(Net, Incidence) {
+    Net net = two_transition_net();
+    EXPECT_EQ(net.incidence(0, 0), -1);  // p0 consumed by t0
+    EXPECT_EQ(net.incidence(1, 0), +1);  // p1 produced by t0
+    EXPECT_EQ(net.incidence(2, 0), 0);
+    // Self-loop contributes 0.
+    Net loop;
+    const PlaceId p = loop.add_place("p");
+    const TransitionId t = loop.add_transition("t");
+    loop.add_arc_pt(p, t);
+    loop.add_arc_tp(t, p);
+    EXPECT_EQ(loop.incidence(p, t), 0);
+}
+
+TEST(Marking, BasicOps) {
+    Marking m(4);
+    EXPECT_EQ(m.total_tokens(), 0u);
+    m.set(1, 2);
+    m.add(3);
+    EXPECT_EQ(m[1], 2u);
+    EXPECT_EQ(m[3], 1u);
+    EXPECT_EQ(m.total_tokens(), 3u);
+    EXPECT_EQ(m.max_tokens(), 2u);
+    m.remove(1);
+    EXPECT_EQ(m[1], 1u);
+    EXPECT_THROW(m.remove(0), ContractViolation);
+}
+
+TEST(Marking, EqualityHashOrder) {
+    Marking a(3), b(3);
+    a.set(0, 1);
+    b.set(0, 1);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+    b.set(2, 1);
+    EXPECT_FALSE(a == b);
+    EXPECT_TRUE(a < b);  // lexicographic on token vectors
+}
+
+TEST(Marking, ToString) {
+    Net net = two_transition_net();
+    Marking m(3);
+    m.set(0, 1);
+    m.set(2, 3);
+    EXPECT_EQ(m.to_string(net), "{p0, 3*p2}");
+    EXPECT_EQ(Marking(3).to_string(net), "{}");
+}
+
+TEST(NetSystem, EnablingAndFiring) {
+    Net net = two_transition_net();
+    Marking m0(3);
+    m0.set(0, 1);
+    NetSystem sys(std::move(net), std::move(m0));
+    EXPECT_TRUE(sys.enabled(sys.initial_marking(), 0));
+    EXPECT_FALSE(sys.enabled(sys.initial_marking(), 1));
+    EXPECT_EQ(sys.enabled_transitions(sys.initial_marking()),
+              std::vector<TransitionId>{0});
+    Marking m1 = sys.fire(sys.initial_marking(), 0);
+    EXPECT_EQ(m1[0], 0u);
+    EXPECT_EQ(m1[1], 1u);
+    EXPECT_THROW(sys.fire(m1, 0), ContractViolation);
+}
+
+TEST(NetSystem, FireSequence) {
+    Net net = two_transition_net();
+    Marking m0(3);
+    m0.set(0, 1);
+    NetSystem sys(std::move(net), std::move(m0));
+    auto end = sys.fire_sequence({0, 1});
+    ASSERT_TRUE(end.has_value());
+    EXPECT_EQ((*end)[2], 1u);
+    EXPECT_FALSE(sys.fire_sequence({1}).has_value());
+    EXPECT_FALSE(sys.fire_sequence({0, 0}).has_value());
+}
+
+TEST(NetSystem, ParikhVector) {
+    Net net = two_transition_net();
+    NetSystem sys(std::move(net), Marking(3));
+    auto x = sys.parikh({0, 1, 0});
+    EXPECT_EQ(x, (ParikhVector{2, 1}));
+}
+
+TEST(NetSystem, MarkingEquation) {
+    Net net = two_transition_net();
+    Marking m0(3);
+    m0.set(0, 1);
+    NetSystem sys(std::move(net), std::move(m0));
+    // x = (1, 0): M = M0 - p0 + p1.
+    auto m = sys.marking_equation({1, 0});
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ((*m)[0], 0u);
+    EXPECT_EQ((*m)[1], 1u);
+    // x = (0, 1): p1 would go negative -> infeasible.
+    EXPECT_FALSE(sys.marking_equation({0, 1}).has_value());
+    // Full sequence.
+    auto m2 = sys.marking_equation({1, 1});
+    ASSERT_TRUE(m2.has_value());
+    EXPECT_EQ((*m2)[2], 1u);
+}
+
+TEST(NetSystem, MarkingEquationMatchesExecution) {
+    Net net = two_transition_net();
+    Marking m0(3);
+    m0.set(0, 1);
+    NetSystem sys(std::move(net), std::move(m0));
+    const std::vector<TransitionId> seq{0, 1};
+    auto by_firing = sys.fire_sequence(seq);
+    auto by_equation = sys.marking_equation(sys.parikh(seq));
+    ASSERT_TRUE(by_firing && by_equation);
+    EXPECT_EQ(*by_firing, *by_equation);
+}
+
+}  // namespace
+}  // namespace stgcc::petri

@@ -1,0 +1,143 @@
+// Property tests: on randomly generated consistent STGs, the unfolding+IP
+// checkers must agree with the state-graph ground truth on every property,
+// and their witnesses must replay.
+#include <gtest/gtest.h>
+
+#include "core/checkers.hpp"
+#include "core/extended_checks.hpp"
+#include "ilp/encodings.hpp"
+#include "petri/reachability.hpp"
+#include "stg/state_checks.hpp"
+#include "stg/state_graph.hpp"
+#include "unfolding/configuration.hpp"
+#include "test_util.hpp"
+
+namespace stgcc {
+namespace {
+
+class RandomStgTest : public ::testing::TestWithParam<unsigned> {
+protected:
+    void SetUp() override {
+        model_ = test::random_stg(GetParam());
+        sg_ = std::make_unique<stg::StateGraph>(model_);
+        ASSERT_TRUE(sg_->consistent());
+        checker_ = std::make_unique<core::UnfoldingChecker>(model_);
+    }
+    stg::Stg model_;
+    std::unique_ptr<stg::StateGraph> sg_;
+    std::unique_ptr<core::UnfoldingChecker> checker_;
+};
+
+TEST_P(RandomStgTest, UscAgreesWithStateGraph) {
+    auto ip = checker_->check_usc();
+    auto sg = stg::check_usc_sg(*sg_);
+    ASSERT_EQ(ip.holds, sg.holds);
+    if (!ip.holds) {
+        const auto& w = *ip.witness;
+        auto m1 = model_.system().fire_sequence(w.trace1);
+        auto m2 = model_.system().fire_sequence(w.trace2);
+        ASSERT_TRUE(m1 && m2);
+        EXPECT_FALSE(*m1 == *m2);
+        EXPECT_EQ(model_.change_vector(w.trace1), model_.change_vector(w.trace2));
+    }
+}
+
+TEST_P(RandomStgTest, CscAgreesWithStateGraph) {
+    auto ip = checker_->check_csc();
+    auto sg = stg::check_csc_sg(*sg_);
+    ASSERT_EQ(ip.holds, sg.holds);
+    if (!ip.holds) {
+        const auto& w = *ip.witness;
+        auto m1 = model_.system().fire_sequence(w.trace1);
+        auto m2 = model_.system().fire_sequence(w.trace2);
+        ASSERT_TRUE(m1 && m2);
+        EXPECT_FALSE(model_.out_signals(*m1) == model_.out_signals(*m2));
+    }
+}
+
+TEST_P(RandomStgTest, NormalcyAgreesWithStateGraph) {
+    auto ip = checker_->check_normalcy();
+    auto sg = stg::check_normalcy_sg(*sg_);
+    EXPECT_EQ(ip.normal, sg.normal);
+    // Per-signal classification must agree exactly.
+    for (const auto& a : sg.per_signal) {
+        const auto* b = ip.find(a.signal);
+        ASSERT_NE(b, nullptr);
+        EXPECT_EQ(a.p_normal, b->p_normal)
+            << model_.signal_name(a.signal) << " seed=" << GetParam();
+        EXPECT_EQ(a.n_normal, b->n_normal)
+            << model_.signal_name(a.signal) << " seed=" << GetParam();
+    }
+}
+
+TEST_P(RandomStgTest, PrefixRepresentsExactlyTheReachableMarkings) {
+    const auto& prefix = checker_->prefix();
+    petri::ReachabilityGraph rg(model_.system());
+    // Marking of every local configuration is reachable.
+    for (unf::EventId e = 0; e < prefix.num_events(); ++e) {
+        auto m = unf::marking_of(prefix, prefix.local_config(e));
+        EXPECT_NE(rg.find(m), petri::kNoState);
+    }
+    // The prefix is no larger than the reachability graph (total adequate
+    // order property: one non-cut-off event per marking at most ... the
+    // bound here is |E| <= |states| * max-enabled, a sanity envelope).
+    EXPECT_LE(prefix.num_events(),
+              rg.num_states() * model_.net().num_transitions());
+}
+
+TEST_P(RandomStgTest, GenericIlpAgreesOnUsc) {
+    // Keep the strawman within budget: skip the largest instances.
+    if (checker_->prefix().num_events() > 60) GTEST_SKIP();
+    auto generic = ilp::check_usc_generic(model_, checker_->prefix());
+    auto sg = stg::check_usc_sg(*sg_);
+    EXPECT_EQ(generic.holds, sg.holds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStgTest, ::testing::Range(1000u, 1040u));
+
+// Larger, more concurrent random instances: agreement on USC/CSC only.
+class RandomStgWideTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomStgWideTest, UscCscAgreement) {
+    test::RandomStgConfig cfg;
+    cfg.machines = 3;
+    cfg.signals_per_machine = 3;
+    cfg.places_per_machine = 10;
+    auto model = test::random_stg(GetParam(), cfg);
+    stg::StateGraph sg(model);
+    ASSERT_TRUE(sg.consistent());
+    core::UnfoldingChecker checker(model);
+    EXPECT_EQ(checker.check_usc().holds, stg::check_usc_sg(sg).holds);
+    EXPECT_EQ(checker.check_csc().holds, stg::check_csc_sg(sg).holds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStgWideTest, ::testing::Range(2000u, 2015u));
+
+// Random instances with cross-machine synchronisation (non-free-choice
+// concurrency): the full battery of agreements must still hold.
+class RandomSyncStgTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomSyncStgTest, AllCheckersAgree) {
+    test::RandomStgConfig cfg;
+    cfg.machines = 3;
+    cfg.sync_transitions = 3;
+    auto model = test::random_stg(GetParam(), cfg);
+    stg::StateGraph sg(model);
+    ASSERT_TRUE(sg.consistent()) << sg.inconsistency_reason();
+    core::UnfoldingChecker checker(model);
+    EXPECT_EQ(checker.check_usc().holds, stg::check_usc_sg(sg).holds);
+    EXPECT_EQ(checker.check_csc().holds, stg::check_csc_sg(sg).holds);
+    auto n_ip = checker.check_normalcy();
+    auto n_sg = stg::check_normalcy_sg(sg);
+    EXPECT_EQ(n_ip.normal, n_sg.normal);
+    // Deadlock agreement too (sync transitions often create deadlocks).
+    petri::ReachabilityGraph rg(model.system());
+    EXPECT_EQ(core::check_deadlock(checker.problem()).found,
+              !rg.deadlocks().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSyncStgTest,
+                         ::testing::Range(11000u, 11030u));
+
+}  // namespace
+}  // namespace stgcc

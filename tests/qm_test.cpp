@@ -1,0 +1,121 @@
+#include "stg/qm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stg/benchmarks.hpp"
+#include "test_util.hpp"
+
+namespace stgcc::stg {
+namespace {
+
+Code code_of_bits(std::size_t width, unsigned bits) {
+    Code c(width);
+    for (std::size_t i = 0; i < width; ++i)
+        if ((bits >> i) & 1) c.set(i);
+    return c;
+}
+
+TEST(PrimeImplicants, TextbookExample) {
+    // f(x0,x1) with ON = {01, 11, 10} (i.e. x0 + x1), OFF = {00}.
+    const std::size_t w = 2;
+    std::vector<Code> on = {code_of_bits(w, 1), code_of_bits(w, 2),
+                            code_of_bits(w, 3)};
+    std::vector<Code> off = {code_of_bits(w, 0)};
+    auto primes = prime_implicants(on, off, w);
+    // Primes: x0 and x1.
+    ASSERT_EQ(primes.size(), 2u);
+    for (const auto& p : primes) {
+        EXPECT_EQ(p.care.count(), 1u);
+        EXPECT_EQ(p.value.count(), 1u);
+    }
+}
+
+TEST(PrimeImplicants, TautologyWhenOffEmpty) {
+    const std::size_t w = 3;
+    std::vector<Code> on = {code_of_bits(w, 5)};
+    auto primes = prime_implicants(on, {}, w);
+    ASSERT_EQ(primes.size(), 1u);
+    EXPECT_TRUE(primes[0].care.none());  // the constant-1 cube
+}
+
+TEST(MinimizeExact, CoversOnAvoidsOff) {
+    // Random functions: the exact cover must be correct and no larger than
+    // the number of ON minterms.
+    std::mt19937 rng(7);
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::size_t w = 4 + rng() % 3;
+        std::vector<Code> on, off;
+        for (unsigned m = 0; m < (1u << w); ++m) {
+            const int r = static_cast<int>(rng() % 3);
+            if (r == 0) on.push_back(code_of_bits(w, m));
+            else if (r == 1) off.push_back(code_of_bits(w, m));
+            // r == 2: don't care
+        }
+        Cover cover = minimize_exact(on, off, w);
+        for (const Code& c : on) EXPECT_TRUE(cover.covers(c));
+        for (const Code& c : off) EXPECT_FALSE(cover.covers(c));
+        EXPECT_LE(cover.cubes.size(), std::max<std::size_t>(on.size(), 1));
+    }
+}
+
+TEST(MinimizeExact, NeverWorseThanGreedy) {
+    std::vector<Stg> models;
+    models.push_back(bench::vme_bus_csc_resolved());
+    models.push_back(bench::johnson_counter(4));
+    models.push_back(bench::duplex_channel(1, true));
+    for (unsigned seed = 7000; seed < 7010; ++seed)
+        models.push_back(test::random_stg(seed));
+    for (const auto& model : models) {
+        StateGraph sg(model);
+        ASSERT_TRUE(sg.consistent());
+        LogicSynthesizer synth(sg);
+        for (SignalId z : model.circuit_driven_signals()) {
+            NextStateFunction greedy, exact;
+            try {
+                greedy = synth.synthesize(z);
+                exact = synthesize_exact(sg, z);
+            } catch (const ModelError&) {
+                continue;  // CSC conflict for this signal
+            }
+            EXPECT_LE(exact.cover.cubes.size(), greedy.cover.cubes.size())
+                << model.name() << "/" << model.signal_name(z);
+            // Exact covers are still correct.
+            for (petri::StateId s = 0; s < sg.num_states(); ++s)
+                EXPECT_EQ(exact.cover.covers(sg.code(s)), sg.nxt(s, z));
+        }
+    }
+}
+
+TEST(MinimizeExact, KnownMinimumOnResolvedVme) {
+    auto model = bench::vme_bus_csc_resolved();
+    StateGraph sg(model);
+    // dtack = d : one cube.  d = ldtack csc : one cube.
+    auto dtack = synthesize_exact(sg, model.find_signal("dtack"));
+    EXPECT_EQ(dtack.cover.cubes.size(), 1u);
+    auto d = synthesize_exact(sg, model.find_signal("d"));
+    EXPECT_EQ(d.cover.cubes.size(), 1u);
+    // lds = d + csc : two cubes.
+    auto lds = synthesize_exact(sg, model.find_signal("lds"));
+    EXPECT_EQ(lds.cover.cubes.size(), 2u);
+}
+
+TEST(MinimizeExact, EmptyOnGivesEmptyCover) {
+    Cover cover = minimize_exact({}, {code_of_bits(2, 0)}, 2);
+    EXPECT_TRUE(cover.cubes.empty());
+}
+
+TEST(MinimizeExact, PrimeLimitThrows) {
+    // A function with exponentially many primes: ON = even-parity codes.
+    const std::size_t w = 8;
+    std::vector<Code> on, off;
+    for (unsigned m = 0; m < (1u << w); ++m) {
+        int pop = __builtin_popcount(m);
+        (pop % 2 == 0 ? on : off).push_back(code_of_bits(w, m));
+    }
+    MinimizeOptions opts;
+    opts.max_primes = 50;
+    EXPECT_THROW((void)prime_implicants(on, off, w, opts), ModelError);
+}
+
+}  // namespace
+}  // namespace stgcc::stg

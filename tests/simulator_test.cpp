@@ -1,0 +1,114 @@
+#include "stg/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/checkers.hpp"
+#include "stg/benchmarks.hpp"
+#include "stg/state_graph.hpp"
+#include "test_util.hpp"
+
+namespace stgcc::stg {
+namespace {
+
+TEST(Simulator, FiresAndTracksCode) {
+    auto model = bench::vme_bus();
+    Simulator sim = make_simulator(model);
+    EXPECT_TRUE(sim.code().none());
+    EXPECT_TRUE(sim.fire_named("dsr+"));
+    EXPECT_TRUE(sim.code().test(model.find_signal("dsr")));
+    EXPECT_TRUE(sim.fire_named("lds+"));
+    EXPECT_TRUE(sim.fire_named("ldtack+"));
+    EXPECT_EQ(sim.trace().size(), 3u);
+    // Disabled / unknown transitions are rejected without state change.
+    EXPECT_FALSE(sim.fire_named("dsr+"));
+    EXPECT_FALSE(sim.fire_named("bogus+"));
+    EXPECT_EQ(sim.trace().size(), 3u);
+}
+
+TEST(Simulator, CodeMatchesStateGraphEverywhere) {
+    auto model = bench::vme_bus();
+    StateGraph sg(model);
+    Simulator sim = make_simulator(model);
+    std::mt19937 rng(42);
+    for (int walk = 0; walk < 20; ++walk) {
+        sim.reset();
+        sim.random_walk(50, rng);
+        const petri::StateId s = sg.graph().find(sim.marking());
+        ASSERT_NE(s, petri::kNoState);
+        EXPECT_EQ(sim.code(), sg.code(s));
+    }
+}
+
+TEST(Simulator, UndoRestoresState) {
+    auto model = test::tiny_handshake();
+    Simulator sim = make_simulator(model);
+    const auto m0 = sim.marking();
+    EXPECT_FALSE(sim.undo());
+    ASSERT_TRUE(sim.fire_named("a+"));
+    ASSERT_TRUE(sim.fire_named("b+"));
+    EXPECT_TRUE(sim.undo());
+    EXPECT_EQ(sim.trace().size(), 1u);
+    EXPECT_TRUE(sim.undo());
+    EXPECT_EQ(sim.marking(), m0);
+    EXPECT_TRUE(sim.code().none());
+}
+
+TEST(Simulator, ReplayWitnessTraces) {
+    auto model = bench::vme_bus();
+    core::UnfoldingChecker checker(model);
+    auto csc = checker.check_csc();
+    ASSERT_FALSE(csc.holds);
+    Simulator sim = make_simulator(model);
+    EXPECT_EQ(sim.replay(csc.witness->trace1), csc.witness->trace1.size());
+    EXPECT_EQ(sim.marking(), csc.witness->m1);
+    EXPECT_EQ(sim.code(), csc.witness->code);
+    sim.reset();
+    EXPECT_EQ(sim.replay(csc.witness->trace2), csc.witness->trace2.size());
+    EXPECT_EQ(sim.marking(), csc.witness->m2);
+    EXPECT_EQ(sim.code(), csc.witness->code);
+}
+
+TEST(Simulator, ReplayStopsAtDisabled) {
+    auto model = test::tiny_handshake();
+    Simulator sim = make_simulator(model);
+    const auto a_p = model.net().find_transition("a+");
+    const auto a_m = model.net().find_transition("a-");
+    EXPECT_EQ(sim.replay({a_p, a_p, a_m}), 1u);
+}
+
+TEST(Simulator, DeadlockDetection) {
+    StgBuilder b("one-shot");
+    b.input("a");
+    b.place("s", 1);
+    b.place("e");
+    b.arc("s", "a+").arc("a+", "a-").arc("a-", "e");
+    auto model = b.build();
+    Simulator sim = make_simulator(model);
+    EXPECT_FALSE(sim.deadlocked());
+    std::mt19937 rng(1);
+    EXPECT_EQ(sim.random_walk(100, rng), 2u);
+    EXPECT_TRUE(sim.deadlocked());
+}
+
+TEST(Simulator, RandomWalksStayInReachableStates) {
+    for (unsigned seed = 6000; seed < 6005; ++seed) {
+        auto model = test::random_stg(seed);
+        StateGraph sg(model);
+        Simulator sim = make_simulator(model);
+        std::mt19937 rng(seed);
+        sim.random_walk(200, rng);
+        EXPECT_NE(sg.graph().find(sim.marking()), petri::kNoState);
+    }
+}
+
+TEST(Simulator, InconsistentStgRejected) {
+    StgBuilder b("bad");
+    b.input("a");
+    b.arc("a+/1", "a+/2").arc("a+/2", "a-").arc("a-", "a+/1");
+    b.token_between("a-", "a+/1");
+    auto model = b.build();
+    EXPECT_THROW((void)make_simulator(model), ModelError);
+}
+
+}  // namespace
+}  // namespace stgcc::stg

@@ -1,0 +1,148 @@
+#include "stg/state_checks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stg/benchmarks.hpp"
+#include "test_util.hpp"
+
+namespace stgcc::stg {
+namespace {
+
+TEST(StateChecks, VmeHasUscAndCscConflict) {
+    auto model = bench::vme_bus();
+    StateGraph sg(model);
+    auto usc = check_usc_sg(sg);
+    EXPECT_FALSE(usc.holds);
+    ASSERT_TRUE(usc.witness.has_value());
+    EXPECT_FALSE(usc.witness->m1 == usc.witness->m2);
+    auto csc = check_csc_sg(sg);
+    EXPECT_FALSE(csc.holds);
+    ASSERT_TRUE(csc.witness.has_value());
+    EXPECT_TRUE(csc.witness->is_csc());
+}
+
+TEST(StateChecks, VmeWitnessReplays) {
+    auto model = bench::vme_bus();
+    StateGraph sg(model);
+    auto csc = check_csc_sg(sg);
+    ASSERT_TRUE(csc.witness.has_value());
+    const auto& w = *csc.witness;
+    auto m1 = model.system().fire_sequence(w.trace1);
+    auto m2 = model.system().fire_sequence(w.trace2);
+    ASSERT_TRUE(m1 && m2);
+    EXPECT_EQ(*m1, w.m1);
+    EXPECT_EQ(*m2, w.m2);
+    // Both traces produce the same code.
+    auto v1 = model.change_vector(w.trace1);
+    auto v2 = model.change_vector(w.trace2);
+    EXPECT_EQ(v1, v2);
+    // And different Out sets.
+    EXPECT_FALSE(model.out_signals(*m1) == model.out_signals(*m2));
+}
+
+TEST(StateChecks, ResolvedVmeSatisfiesCscButNotNormalcy) {
+    auto model = bench::vme_bus_csc_resolved();
+    StateGraph sg(model);
+    EXPECT_TRUE(check_usc_sg(sg).holds);
+    EXPECT_TRUE(check_csc_sg(sg).holds);
+    auto n = check_normalcy_sg(sg);
+    EXPECT_FALSE(n.normal);
+    // Exactly csc is non-normal; the real outputs are all normal.
+    for (const auto& sn : n.per_signal) {
+        if (model.signal_name(sn.signal) == "csc") {
+            EXPECT_FALSE(sn.p_normal);
+            EXPECT_FALSE(sn.n_normal);
+            ASSERT_TRUE(sn.p_violation.has_value());
+            ASSERT_TRUE(sn.n_violation.has_value());
+            // Witness soundness: codes ordered, Nxt values as claimed.
+            EXPECT_TRUE(sn.p_violation->code1.subset_of(sn.p_violation->code2));
+            EXPECT_TRUE(sn.p_violation->nxt1);
+            EXPECT_FALSE(sn.p_violation->nxt2);
+            EXPECT_TRUE(sn.n_violation->code1.subset_of(sn.n_violation->code2));
+            EXPECT_FALSE(sn.n_violation->nxt1);
+            EXPECT_TRUE(sn.n_violation->nxt2);
+        } else {
+            EXPECT_TRUE(sn.normal()) << model.signal_name(sn.signal);
+        }
+    }
+}
+
+TEST(StateChecks, SeqHasUscConflictButNoCscConflict) {
+    auto model = bench::sequential_handshakes(3);
+    StateGraph sg(model);
+    EXPECT_FALSE(check_usc_sg(sg).holds);
+    EXPECT_TRUE(check_csc_sg(sg).holds);
+}
+
+TEST(StateChecks, ConflictFreeFamilies) {
+    for (auto* make : {+[] { return bench::parallel_handshakes(3); },
+                       +[] { return bench::muller_pipeline(3); },
+                       +[] { return bench::johnson_counter(5); }}) {
+        auto model = make();
+        StateGraph sg(model);
+        EXPECT_TRUE(check_usc_sg(sg).holds) << model.name();
+        EXPECT_TRUE(check_csc_sg(sg).holds) << model.name();
+    }
+}
+
+TEST(StateChecks, JohnsonCounterIsNormal) {
+    auto model = bench::johnson_counter(4);
+    StateGraph sg(model);
+    auto n = check_normalcy_sg(sg);
+    EXPECT_TRUE(n.normal);
+    for (const auto& sn : n.per_signal) EXPECT_TRUE(sn.normal());
+}
+
+TEST(StateChecks, NormalcyWitnessReplays) {
+    auto model = bench::vme_bus_csc_resolved();
+    StateGraph sg(model);
+    auto n = check_normalcy_sg(sg);
+    for (const auto& sn : n.per_signal) {
+        for (const auto* w : {sn.p_violation ? &*sn.p_violation : nullptr,
+                              sn.n_violation ? &*sn.n_violation : nullptr}) {
+            if (!w) continue;
+            auto m1 = model.system().fire_sequence(w->trace1);
+            auto m2 = model.system().fire_sequence(w->trace2);
+            ASSERT_TRUE(m1 && m2);
+            EXPECT_EQ(*m1, w->m1);
+            EXPECT_EQ(*m2, w->m2);
+            EXPECT_EQ(model.nxt(*m1, w->code1, w->signal), w->nxt1);
+            EXPECT_EQ(model.nxt(*m2, w->code2, w->signal), w->nxt2);
+        }
+    }
+}
+
+TEST(StateChecks, InconsistentStgRejected) {
+    StgBuilder b("bad");
+    b.input("a");
+    b.arc("a+/1", "a+/2").arc("a+/2", "a-").arc("a-", "a+/1");
+    b.token_between("a-", "a+/1");
+    auto model = b.build();
+    StateGraph sg(model);
+    EXPECT_THROW((void)check_usc_sg(sg), ModelError);
+    EXPECT_THROW((void)check_csc_sg(sg), ModelError);
+    EXPECT_THROW((void)check_normalcy_sg(sg), ModelError);
+}
+
+TEST(StateChecks, TinyConflictFoundWithTraces) {
+    auto model = test::tiny_conflict();
+    StateGraph sg(model);
+    auto usc = check_usc_sg(sg);
+    ASSERT_FALSE(usc.holds);
+    // Witness traces must reach markings with equal codes.
+    auto v1 = model.change_vector(usc.witness->trace1);
+    auto v2 = model.change_vector(usc.witness->trace2);
+    EXPECT_EQ(v1, v2);
+    auto csc = check_csc_sg(sg);
+    EXPECT_FALSE(csc.holds);
+}
+
+TEST(StateChecks, StatsPopulated) {
+    auto model = bench::vme_bus();
+    StateGraph sg(model);
+    auto usc = check_usc_sg(sg);
+    EXPECT_EQ(usc.stats.states, sg.num_states());
+}
+
+}  // namespace
+}  // namespace stgcc::stg

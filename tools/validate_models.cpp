@@ -1,0 +1,76 @@
+// Development driver: vets every benchmark model (consistency, safety,
+// deadlock-freeness, conflict status) and cross-checks the unfolding+IP
+// checkers against the state-graph baseline.
+#include <cstdio>
+#include <vector>
+
+#include "core/checkers.hpp"
+#include "petri/reachability.hpp"
+#include "stg/benchmarks.hpp"
+#include "stg/state_checks.hpp"
+#include "stg/state_graph.hpp"
+#include "unfolding/prefix_checks.hpp"
+#include "unfolding/unfolder.hpp"
+
+using namespace stgcc;
+
+static void vet(const char* name, const stg::Stg& model, bool run_normalcy = true) {
+    std::printf("%-18s S=%-3zu T=%-3zu Z=%-2zu ", name, model.net().num_places(),
+                model.net().num_transitions(), model.num_signals());
+    std::fflush(stdout);
+    try {
+        stg::StateGraph sg(model);
+        std::printf("states=%-7zu safe=%d dead=%zu cons=%d ", sg.num_states(),
+                    (int)sg.graph().is_safe(), sg.graph().deadlocks().size(),
+                    (int)sg.consistent());
+        if (!sg.consistent()) {
+            std::printf("REASON: %s\n", sg.inconsistency_reason().c_str());
+            return;
+        }
+        auto usc_sg = stg::check_usc_sg(sg);
+        auto csc_sg = stg::check_csc_sg(sg);
+
+        core::UnfoldingChecker checker(model);
+        const auto& pfx = checker.prefix();
+        std::printf("B=%-5zu E=%-5zu Ec=%-3zu cf=%d ", pfx.num_conditions(),
+                    pfx.num_events(), pfx.num_cutoffs(),
+                    (int)checker.problem().dynamically_conflict_free());
+        std::fflush(stdout);
+        auto usc_ip = checker.check_usc();
+        auto csc_ip = checker.check_csc();
+        std::printf("USC sg=%d ip=%d%s CSC sg=%d ip=%d%s ", (int)usc_sg.holds,
+                    (int)usc_ip.holds, usc_sg.holds == usc_ip.holds ? "" : " MISMATCH!",
+                    (int)csc_sg.holds, (int)csc_ip.holds,
+                    csc_sg.holds == csc_ip.holds ? "" : " MISMATCH!");
+        if (run_normalcy) {
+            auto n_sg = stg::check_normalcy_sg(sg);
+            auto n_ip = checker.check_normalcy();
+            std::printf("NRM sg=%d ip=%d%s", (int)n_sg.normal, (int)n_ip.normal,
+                        n_sg.normal == n_ip.normal ? "" : " MISMATCH!");
+            for (std::size_t i = 0; i < n_sg.per_signal.size(); ++i) {
+                const auto& a = n_sg.per_signal[i];
+                const auto& b = *n_ip.find(a.signal);
+                if (a.p_normal != b.p_normal || a.n_normal != b.n_normal)
+                    std::printf(" [sig %s p %d/%d n %d/%d]",
+                                model.signal_name(a.signal).c_str(), (int)a.p_normal,
+                                (int)b.p_normal, (int)a.n_normal, (int)b.n_normal);
+            }
+        }
+        std::printf("\n");
+    } catch (const std::exception& ex) {
+        std::printf("EXCEPTION: %s\n", ex.what());
+    }
+}
+
+int main() {
+    vet("vme", stg::bench::vme_bus());
+    vet("vme-csc", stg::bench::vme_bus_csc_resolved());
+    vet("par-3", stg::bench::parallel_handshakes(3));
+    vet("pipe-3", stg::bench::handshake_pipeline(3));
+    vet("seq-3", stg::bench::sequential_handshakes(3));
+    vet("johnson-4", stg::bench::johnson_counter(4));
+    vet("envelope-2", stg::bench::phase_envelope(2));
+    for (const auto& nb : stg::bench::table1_suite())
+        vet(nb.name.c_str(), nb.stg, /*run_normalcy=*/false);
+    return 0;
+}
