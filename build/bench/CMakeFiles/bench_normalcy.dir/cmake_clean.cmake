@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_normalcy.dir/bench_normalcy.cpp.o"
+  "CMakeFiles/bench_normalcy.dir/bench_normalcy.cpp.o.d"
+  "bench_normalcy"
+  "bench_normalcy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_normalcy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resolve.dir/bench_resolve.cpp.o"
+  "CMakeFiles/bench_resolve.dir/bench_resolve.cpp.o.d"
+  "bench_resolve"
+  "bench_resolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

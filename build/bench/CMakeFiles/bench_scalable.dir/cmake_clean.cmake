@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalable.dir/bench_scalable.cpp.o"
+  "CMakeFiles/bench_scalable.dir/bench_scalable.cpp.o.d"
+  "bench_scalable"
+  "bench_scalable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

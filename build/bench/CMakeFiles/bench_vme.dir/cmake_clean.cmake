@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vme.dir/bench_vme.cpp.o"
+  "CMakeFiles/bench_vme.dir/bench_vme.cpp.o.d"
+  "bench_vme"
+  "bench_vme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/normalcy_demo.dir/normalcy_demo.cpp.o"
+  "CMakeFiles/normalcy_demo.dir/normalcy_demo.cpp.o.d"
+  "normalcy_demo"
+  "normalcy_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normalcy_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_adapter.dir/ring_adapter.cpp.o"
+  "CMakeFiles/ring_adapter.dir/ring_adapter.cpp.o.d"
+  "ring_adapter"
+  "ring_adapter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_adapter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

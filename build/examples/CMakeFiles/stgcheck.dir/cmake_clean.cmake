@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgcheck.dir/stgcheck.cpp.o"
+  "CMakeFiles/stgcheck.dir/stgcheck.cpp.o.d"
+  "stgcheck"
+  "stgcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

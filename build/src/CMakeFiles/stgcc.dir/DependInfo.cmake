@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkers.cpp" "src/CMakeFiles/stgcc.dir/core/checkers.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/core/checkers.cpp.o.d"
+  "/root/repo/src/core/coding_problem.cpp" "src/CMakeFiles/stgcc.dir/core/coding_problem.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/core/coding_problem.cpp.o.d"
+  "/root/repo/src/core/compat_solver.cpp" "src/CMakeFiles/stgcc.dir/core/compat_solver.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/core/compat_solver.cpp.o.d"
+  "/root/repo/src/core/conflict_cores.cpp" "src/CMakeFiles/stgcc.dir/core/conflict_cores.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/core/conflict_cores.cpp.o.d"
+  "/root/repo/src/core/extended_checks.cpp" "src/CMakeFiles/stgcc.dir/core/extended_checks.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/core/extended_checks.cpp.o.d"
+  "/root/repo/src/core/marking_expr.cpp" "src/CMakeFiles/stgcc.dir/core/marking_expr.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/core/marking_expr.cpp.o.d"
+  "/root/repo/src/core/persistency.cpp" "src/CMakeFiles/stgcc.dir/core/persistency.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/core/persistency.cpp.o.d"
+  "/root/repo/src/core/reach_solver.cpp" "src/CMakeFiles/stgcc.dir/core/reach_solver.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/core/reach_solver.cpp.o.d"
+  "/root/repo/src/core/resolver.cpp" "src/CMakeFiles/stgcc.dir/core/resolver.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/core/resolver.cpp.o.d"
+  "/root/repo/src/core/verifier.cpp" "src/CMakeFiles/stgcc.dir/core/verifier.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/core/verifier.cpp.o.d"
+  "/root/repo/src/ilp/bb_solver.cpp" "src/CMakeFiles/stgcc.dir/ilp/bb_solver.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/ilp/bb_solver.cpp.o.d"
+  "/root/repo/src/ilp/encodings.cpp" "src/CMakeFiles/stgcc.dir/ilp/encodings.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/ilp/encodings.cpp.o.d"
+  "/root/repo/src/ilp/model.cpp" "src/CMakeFiles/stgcc.dir/ilp/model.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/ilp/model.cpp.o.d"
+  "/root/repo/src/petri/invariants.cpp" "src/CMakeFiles/stgcc.dir/petri/invariants.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/petri/invariants.cpp.o.d"
+  "/root/repo/src/petri/marking.cpp" "src/CMakeFiles/stgcc.dir/petri/marking.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/petri/marking.cpp.o.d"
+  "/root/repo/src/petri/net.cpp" "src/CMakeFiles/stgcc.dir/petri/net.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/petri/net.cpp.o.d"
+  "/root/repo/src/petri/net_system.cpp" "src/CMakeFiles/stgcc.dir/petri/net_system.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/petri/net_system.cpp.o.d"
+  "/root/repo/src/petri/pnml.cpp" "src/CMakeFiles/stgcc.dir/petri/pnml.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/petri/pnml.cpp.o.d"
+  "/root/repo/src/petri/reachability.cpp" "src/CMakeFiles/stgcc.dir/petri/reachability.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/petri/reachability.cpp.o.d"
+  "/root/repo/src/stg/astg.cpp" "src/CMakeFiles/stgcc.dir/stg/astg.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/stg/astg.cpp.o.d"
+  "/root/repo/src/stg/benchmarks.cpp" "src/CMakeFiles/stgcc.dir/stg/benchmarks.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/stg/benchmarks.cpp.o.d"
+  "/root/repo/src/stg/builder.cpp" "src/CMakeFiles/stgcc.dir/stg/builder.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/stg/builder.cpp.o.d"
+  "/root/repo/src/stg/contraction.cpp" "src/CMakeFiles/stgcc.dir/stg/contraction.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/stg/contraction.cpp.o.d"
+  "/root/repo/src/stg/insertion.cpp" "src/CMakeFiles/stgcc.dir/stg/insertion.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/stg/insertion.cpp.o.d"
+  "/root/repo/src/stg/logic.cpp" "src/CMakeFiles/stgcc.dir/stg/logic.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/stg/logic.cpp.o.d"
+  "/root/repo/src/stg/qm.cpp" "src/CMakeFiles/stgcc.dir/stg/qm.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/stg/qm.cpp.o.d"
+  "/root/repo/src/stg/simulator.cpp" "src/CMakeFiles/stgcc.dir/stg/simulator.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/stg/simulator.cpp.o.d"
+  "/root/repo/src/stg/state_checks.cpp" "src/CMakeFiles/stgcc.dir/stg/state_checks.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/stg/state_checks.cpp.o.d"
+  "/root/repo/src/stg/state_graph.cpp" "src/CMakeFiles/stgcc.dir/stg/state_graph.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/stg/state_graph.cpp.o.d"
+  "/root/repo/src/stg/stg.cpp" "src/CMakeFiles/stgcc.dir/stg/stg.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/stg/stg.cpp.o.d"
+  "/root/repo/src/unfolding/configuration.cpp" "src/CMakeFiles/stgcc.dir/unfolding/configuration.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/unfolding/configuration.cpp.o.d"
+  "/root/repo/src/unfolding/occurrence_net.cpp" "src/CMakeFiles/stgcc.dir/unfolding/occurrence_net.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/unfolding/occurrence_net.cpp.o.d"
+  "/root/repo/src/unfolding/orders.cpp" "src/CMakeFiles/stgcc.dir/unfolding/orders.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/unfolding/orders.cpp.o.d"
+  "/root/repo/src/unfolding/prefix_checks.cpp" "src/CMakeFiles/stgcc.dir/unfolding/prefix_checks.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/unfolding/prefix_checks.cpp.o.d"
+  "/root/repo/src/unfolding/unfolder.cpp" "src/CMakeFiles/stgcc.dir/unfolding/unfolder.cpp.o" "gcc" "src/CMakeFiles/stgcc.dir/unfolding/unfolder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/astg_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/astg_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/astg_test.cpp.o.d"
+  "/root/repo/tests/benchmarks_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/benchmarks_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/benchmarks_test.cpp.o.d"
+  "/root/repo/tests/bitvec_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/bitvec_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/bitvec_test.cpp.o.d"
+  "/root/repo/tests/builder_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/builder_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/builder_test.cpp.o.d"
+  "/root/repo/tests/checkers_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/checkers_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/checkers_test.cpp.o.d"
+  "/root/repo/tests/compat_solver_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/compat_solver_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/compat_solver_test.cpp.o.d"
+  "/root/repo/tests/configuration_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/configuration_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/configuration_test.cpp.o.d"
+  "/root/repo/tests/conflict_cores_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/conflict_cores_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/conflict_cores_test.cpp.o.d"
+  "/root/repo/tests/contraction_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/contraction_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/contraction_test.cpp.o.d"
+  "/root/repo/tests/corpus_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/corpus_test.cpp.o.d"
+  "/root/repo/tests/encodings_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/encodings_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/encodings_test.cpp.o.d"
+  "/root/repo/tests/extended_checks_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/extended_checks_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/extended_checks_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/ilp_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/ilp_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/ilp_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/invariants_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/invariants_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/invariants_test.cpp.o.d"
+  "/root/repo/tests/logic_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/logic_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/logic_test.cpp.o.d"
+  "/root/repo/tests/orders_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/orders_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/orders_test.cpp.o.d"
+  "/root/repo/tests/persistency_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/persistency_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/persistency_test.cpp.o.d"
+  "/root/repo/tests/petri_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/petri_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/petri_test.cpp.o.d"
+  "/root/repo/tests/pnml_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/pnml_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/pnml_test.cpp.o.d"
+  "/root/repo/tests/prefix_checks_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/prefix_checks_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/prefix_checks_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/qm_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/qm_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/qm_test.cpp.o.d"
+  "/root/repo/tests/reachability_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/reachability_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/reachability_test.cpp.o.d"
+  "/root/repo/tests/resolver_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/resolver_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/resolver_test.cpp.o.d"
+  "/root/repo/tests/simulator_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/simulator_test.cpp.o.d"
+  "/root/repo/tests/state_checks_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/state_checks_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/state_checks_test.cpp.o.d"
+  "/root/repo/tests/state_graph_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/state_graph_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/state_graph_test.cpp.o.d"
+  "/root/repo/tests/stg_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/stg_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/stg_test.cpp.o.d"
+  "/root/repo/tests/unfolding_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/unfolding_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/unfolding_test.cpp.o.d"
+  "/root/repo/tests/verifier_test.cpp" "tests/CMakeFiles/stgcc_tests.dir/verifier_test.cpp.o" "gcc" "tests/CMakeFiles/stgcc_tests.dir/verifier_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stgcc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
