@@ -29,7 +29,7 @@ struct Row {
     std::size_t S, T, Z, B, E, Ec, states;
     double state_based_s, ip_s;
     bool conflict;
-    std::size_t nodes;
+    std::size_t nodes, leaves;
 };
 
 Row run_row(const stg::bench::NamedBenchmark& nb) {
@@ -63,7 +63,27 @@ Row run_row(const stg::bench::NamedBenchmark& nb) {
     row.Ec = checker.prefix().num_cutoffs();
     row.conflict = !csc.holds || !usc.holds;
     row.nodes = usc.stats.search_nodes + csc.stats.search_nodes;
+    row.leaves = usc.stats.leaves + csc.stats.leaves;
     return row;
+}
+
+obs::Json row_json(const Row& r) {
+    return obs::Json::object()
+        .set("model", r.name)
+        .set("net", obs::Json::object()
+                        .set("places", r.S)
+                        .set("transitions", r.T)
+                        .set("signals", r.Z))
+        .set("prefix", obs::Json::object()
+                           .set("conditions", r.B)
+                           .set("events", r.E)
+                           .set("cutoffs", r.Ec))
+        .set("states", r.states)
+        .set("state_based_seconds", r.state_based_s)
+        .set("unfolding_ip_seconds", r.ip_s)
+        .set("search_nodes", r.nodes)
+        .set("leaves", r.leaves)
+        .set("verdict", r.conflict ? "conflict" : "csc-free");
 }
 
 void print_table() {
@@ -74,6 +94,7 @@ void print_table() {
                 "Problem", "S", "T", "Z", "B", "E", "Ec", "states", "Pfy",
                 "CLP", "verdict", "nodes");
     benchutil::rule(108);
+    benchutil::BenchReport json_report("table1");
     for (const auto& nb : stg::bench::table1_suite()) {
         Row r = run_row(nb);
         std::printf("%-16s %4zu %4zu %3zu | %5zu %5zu %4zu | %8zu | %9s %9s | "
@@ -82,9 +103,11 @@ void print_table() {
                     benchutil::fmt_time(r.state_based_s).c_str(),
                     benchutil::fmt_time(r.ip_s).c_str(),
                     r.conflict ? "conflict" : "CSC-free", r.nodes);
+        json_report.add_row(row_json(r));
     }
     benchutil::rule(108);
     std::printf("\n");
+    json_report.write();
 }
 
 void BM_StateBased(benchmark::State& state, stg::Stg model) {

@@ -24,19 +24,28 @@ void size_table() {
     std::printf("  %-16s | %4s %4s | %5s %5s %4s | %6s | %9s\n", "model", "S",
                 "T", "B", "E", "Ec", "E/T", "time");
     benchutil::rule(72);
+    benchutil::BenchReport json_report("unfolding");
     for (const auto& nb : stg::bench::table1_suite()) {
         Stopwatch t;
         auto prefix = unf::unfold(nb.stg.system());
+        const double seconds = t.seconds();
         std::printf("  %-16s | %4zu %4zu | %5zu %5zu %4zu | %6.2f | %9s\n",
                     nb.name.c_str(), nb.stg.net().num_places(),
                     nb.stg.net().num_transitions(), prefix.num_conditions(),
                     prefix.num_events(), prefix.num_cutoffs(),
                     static_cast<double>(prefix.num_events()) /
                         static_cast<double>(nb.stg.net().num_transitions()),
-                    benchutil::fmt_time(t.seconds()).c_str());
+                    benchutil::fmt_time(seconds).c_str());
+        json_report.add_row(obs::Json::object()
+                                .set("model", nb.name)
+                                .set("conditions", prefix.num_conditions())
+                                .set("events", prefix.num_events())
+                                .set("cutoffs", prefix.num_cutoffs())
+                                .set("seconds", seconds));
     }
     benchutil::rule(72);
     std::printf("\n");
+    json_report.write();
 }
 
 /// The textbook McMillan-blowup gadget: a chain of n reconverging choice

@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 
+#include "obs/report.hpp"
 #include "petri/reachability.hpp"
 #include "stg/state_graph.hpp"
 
@@ -28,6 +29,34 @@ inline std::optional<stg::StateGraph> try_state_graph(
         return std::nullopt;
     }
 }
+
+/// Accumulates one JSON row per benchmarked model and writes the whole set
+/// as `BENCH_<name>.json` (into $STGCC_BENCH_JSON_DIR or the working
+/// directory) so the perf trajectory is machine-trackable across PRs.
+class BenchReport {
+public:
+    explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+    /// Add a row; typically an object with at least {"model", "seconds"}.
+    void add_row(obs::Json row) { rows_.push(std::move(row)); }
+
+    /// Write the report; prints the path (or a warning) and returns it.
+    std::string write() {
+        const std::string path =
+            obs::write_bench_report(name_, std::move(rows_));
+        if (path.empty())
+            std::fprintf(stderr, "warning: could not write BENCH_%s.json\n",
+                         name_.c_str());
+        else
+            std::printf("machine-readable results: %s\n\n", path.c_str());
+        rows_ = obs::Json::array();
+        return path;
+    }
+
+private:
+    std::string name_;
+    obs::Json rows_ = obs::Json::array();
+};
 
 inline std::string fmt_time(double seconds) {
     char buf[32];

@@ -1,20 +1,27 @@
 // stgcheck: command-line verifier for ASTG (.g) files.
 //
-//   ./stgcheck file.g [--no-normalcy] [--dot out.dot] [--state-based]
-//               [--contract] [--deadlock] [--persistency] [--synthesize] [--cores]
-//
 // Reads an STG in the petrify/punf interchange format, builds its complete
 // prefix and reports consistency, USC, CSC and normalcy with witness
 // execution paths.  --state-based additionally runs the explicit state-graph
 // baseline for comparison; --dot dumps the prefix as Graphviz; --contract
 // securely removes dummy transitions first; --deadlock runs the section 5
 // deadlock check; --synthesize derives next-state covers (requires CSC).
+//
+// Observability: --trace writes a Chrome trace-event JSON (load it in
+// chrome://tracing or https://ui.perfetto.dev), --metrics prints the metrics
+// registry, --json writes a machine-readable verification report.
+//
+// Exit codes: 0 = all checked properties hold, 1 = a conflict / violation
+// was found, 2 = usage or IO error, 3 = internal error (baselines disagree).
 #include <cstring>
 #include <fstream>
 #include <iostream>
 
 #include "core/conflict_cores.hpp"
 #include "core/verifier.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "stg/astg.hpp"
 #include "stg/logic.hpp"
 #include "stg/state_checks.hpp"
@@ -22,15 +29,48 @@
 #include "unfolding/unfolder.hpp"
 #include "util/stopwatch.hpp"
 
+namespace {
+
+void print_usage(std::ostream& out) {
+    out << "usage: stgcheck file.g [options]\n"
+           "\n"
+           "checks:\n"
+           "  --no-normalcy       skip the normalcy check\n"
+           "  --contract          securely contract dummy transitions first\n"
+           "  --deadlock          also run the deadlock check (section 5)\n"
+           "  --persistency       also check output persistency\n"
+           "  --state-based       cross-check against the explicit state-graph "
+           "baseline\n"
+           "\n"
+           "extras:\n"
+           "  --synthesize        derive next-state covers (requires CSC)\n"
+           "  --cores             print conflict-core height map on USC "
+           "violation\n"
+           "  --dot FILE          dump the prefix as Graphviz\n"
+           "\n"
+           "observability:\n"
+           "  --trace FILE        write a Chrome trace-event JSON "
+           "(chrome://tracing)\n"
+           "  --metrics           print the metrics registry after checking\n"
+           "  --json FILE         write a machine-readable verification "
+           "report\n"
+           "\n"
+           "exit codes: 0 = all properties hold, 1 = conflict found,\n"
+           "            2 = usage/IO error, 3 = internal error\n";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
     using namespace stgcc;
     if (argc < 2) {
-        std::cerr << "usage: stgcheck file.g [--no-normalcy] [--dot out.dot] "
-                     "[--state-based]\n";
+        print_usage(std::cerr);
         return 2;
     }
     const char* path = nullptr;
     const char* dot_path = nullptr;
+    const char* trace_path = nullptr;
+    const char* json_path = nullptr;
     bool normalcy = true;
     bool state_based = false;
     bool contract = false;
@@ -38,6 +78,7 @@ int main(int argc, char** argv) {
     bool synthesize = false;
     bool cores = false;
     bool persistency = false;
+    bool metrics = false;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--no-normalcy"))
             normalcy = false;
@@ -53,12 +94,22 @@ int main(int argc, char** argv) {
             synthesize = true;
         else if (!std::strcmp(argv[i], "--cores"))
             cores = true;
-        else if (!std::strcmp(argv[i], "--dot") && i + 1 < argc)
+        else if (!std::strcmp(argv[i], "--metrics"))
+            metrics = true;
+        else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+            print_usage(std::cout);
+            return 0;
+        } else if (!std::strcmp(argv[i], "--dot") && i + 1 < argc)
             dot_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
+            trace_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            json_path = argv[++i];
         else if (argv[i][0] != '-')
             path = argv[i];
         else {
             std::cerr << "unknown option: " << argv[i] << "\n";
+            print_usage(std::cerr);
             return 2;
         }
     }
@@ -67,8 +118,18 @@ int main(int argc, char** argv) {
         return 2;
     }
 
+    // Any observability output turns the instrumentation on; the default
+    // run pays only the disabled-flag branch on the hot paths.
+    if (trace_path || json_path || metrics) obs::set_enabled(true);
+
     try {
+        obs::Span root("stgcheck");
+        root.attr("file", path);
+
+        obs::Span parse_span("parse");
         stg::Stg model = stg::load_astg_file(path);
+        parse_span.finish();
+
         core::VerifyOptions opts;
         opts.check_normalcy = normalcy;
         opts.contract_dummies = contract;
@@ -105,6 +166,10 @@ int main(int argc, char** argv) {
             auto prefix = unf::unfold(checked.system());
             std::ofstream out(dot_path);
             out << prefix.to_dot();
+            if (!out) {
+                std::cerr << "error: cannot write " << dot_path << "\n";
+                return 2;
+            }
             std::cout << "prefix written to " << dot_path << "\n";
         }
 
@@ -122,11 +187,40 @@ int main(int argc, char** argv) {
                 return 3;
             }
         }
+
+        root.finish();
+
+        if (json_path) {
+            obs::Json body = core::report_json(model, report);
+            body.set("metrics", obs::Registry::instance().to_json());
+            if (!obs::save_json(json_path,
+                                obs::make_report("stgcheck", std::move(body)))) {
+                std::cerr << "error: cannot write " << json_path << "\n";
+                return 2;
+            }
+            std::cout << "report written to " << json_path << "\n";
+        }
+        if (trace_path) {
+            if (!obs::write_chrome_trace(trace_path)) {
+                std::cerr << "error: cannot write " << trace_path << "\n";
+                return 2;
+            }
+            std::cout << "trace written to " << trace_path << " ("
+                      << obs::Tracer::instance().num_spans()
+                      << " spans; open in chrome://tracing)\n";
+        }
+        if (metrics) {
+            std::cout << "--- metrics ---\n"
+                      << obs::Registry::instance().text_summary();
+        }
+
         if (!report.consistent) return 1;
-        return report.usc.holds && report.csc.holds &&
-                       (!normalcy || report.normalcy.normal)
-                   ? 0
-                   : 1;
+        const bool all_hold =
+            report.usc.holds && report.csc.holds &&
+            (!normalcy || report.normalcy.normal) &&
+            (!report.deadlock_checked || report.deadlock_free) &&
+            (!report.persistency_checked || report.persistent);
+        return all_hold ? 0 : 1;
     } catch (const std::exception& ex) {
         std::cerr << "error: " << ex.what() << "\n";
         return 2;

@@ -1,5 +1,6 @@
 #include "core/checkers.hpp"
 
+#include "obs/trace.hpp"
 #include "unfolding/configuration.hpp"
 
 namespace stgcc::core {
@@ -16,6 +17,7 @@ UnfoldingChecker::UnfoldingChecker(const stg::Stg& stg, unf::Prefix prefix)
 
 stg::ConflictWitness UnfoldingChecker::make_witness(const BitVec& ca,
                                                     const BitVec& cb) const {
+    obs::Span span("witness");
     stg::ConflictWitness w;
     const BitVec ea = problem_->to_event_set(ca);
     const BitVec eb = problem_->to_event_set(cb);
@@ -30,6 +32,7 @@ stg::ConflictWitness UnfoldingChecker::make_witness(const BitVec& ca,
 }
 
 stg::CodingCheckResult UnfoldingChecker::check_usc(SearchOptions opts) const {
+    obs::Span span("solve.usc");
     CompatSolver solver(*problem_, opts);
     auto outcome = solver.solve(
         CodeRelation::Equal, [&](const BitVec& ca, const BitVec& cb) {
@@ -47,6 +50,7 @@ stg::CodingCheckResult UnfoldingChecker::check_usc(SearchOptions opts) const {
 }
 
 stg::CodingCheckResult UnfoldingChecker::check_csc(SearchOptions opts) const {
+    obs::Span span("solve.csc");
     CompatSolver solver(*problem_, opts);
     auto outcome = solver.solve(
         CodeRelation::Equal, [&](const BitVec& ca, const BitVec& cb) {
@@ -68,6 +72,7 @@ stg::CodingCheckResult UnfoldingChecker::check_csc(SearchOptions opts) const {
 }
 
 stg::NormalcyResult UnfoldingChecker::check_normalcy(SearchOptions opts) const {
+    obs::Span span("solve.normalcy");
     const std::vector<stg::SignalId> outputs = stg_->circuit_driven_signals();
     stg::NormalcyResult result;
     result.per_signal.resize(outputs.size());

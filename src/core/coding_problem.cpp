@@ -1,11 +1,14 @@
 #include "core/coding_problem.hpp"
 
+#include "obs/trace.hpp"
+
 namespace stgcc::core {
 
 using unf::EventId;
 
 CodingProblem::CodingProblem(const stg::Stg& stg, const unf::Prefix& prefix)
     : stg_(&stg), prefix_(&prefix) {
+    obs::Span span("encode");
     stg.require_dummy_free();
     const auto consistency = unf::analyze_consistency(stg, prefix);
     if (!consistency.consistent)
@@ -47,6 +50,8 @@ CodingProblem::CodingProblem(const stg::Stg& stg, const unf::Prefix& prefix)
                 confs_[i].set(dense_of[g]);
         });
     }
+    span.attr("dense_events", q);
+    span.attr("conflict_free", conflict_free_);
 }
 
 BitVec CodingProblem::to_event_set(const BitVec& dense) const {

@@ -2,7 +2,8 @@
 
 #include <climits>
 
-#include "util/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace stgcc::core {
 
@@ -48,7 +49,11 @@ bool CompatSolver::assign(int side, std::size_t idx, int value) {
         pending_.pop_back();
         const std::int8_t cur = val_[v.side][v.idx];
         if (cur != kUnassigned) {
-            if (cur != val) return false;  // contradiction
+            if (cur != val) {
+                // Closure contradiction (Theorem 1 forcing clash).
+                if (obs::enabled()) obs::counter("compat.closure_prunes").add();
+                return false;
+            }
             continue;
         }
         val_[v.side][v.idx] = val;
@@ -63,7 +68,12 @@ bool CompatSolver::assign(int side, std::size_t idx, int value) {
         else
             --s.neg_slack;
         if (val == 1) s.fixed += coef;
-        if (!signal_feasible(z)) return false;
+        if (!signal_feasible(z)) {
+            // An interval infeasibility proof: the relation on D_z can no
+            // longer be satisfied, pruning the whole subtree.
+            if (obs::enabled()) obs::counter("compat.signal_prunes").add();
+            return false;
+        }
 
         // Unit-style forcing when the relation pins D_z to an extreme.
         switch (relation_) {
@@ -199,9 +209,23 @@ bool CompatSolver::dfs(const PairPredicate& accept) {
     return false;
 }
 
+namespace {
+
+const char* relation_name(CodeRelation r) {
+    switch (r) {
+        case CodeRelation::Equal: return "equal";
+        case CodeRelation::LessEq: return "less_eq";
+        case CodeRelation::GreaterEq: return "greater_eq";
+    }
+    return "?";
+}
+
+}  // namespace
+
 SearchOutcome CompatSolver::solve(CodeRelation relation,
                                   const PairPredicate& accept) {
-    Stopwatch timer;
+    obs::Span span("compat.solve");
+    span.attr("relation", relation_name(relation));
     relation_ = relation;
     conflict_free_mode_ = opts_.use_conflict_free_optimisation &&
                           problem_->dynamically_conflict_free();
@@ -232,17 +256,20 @@ SearchOutcome CompatSolver::solve(CodeRelation relation,
     for (std::size_t d = 0; d < q && !outcome_.found; ++d) {
         first_diff_ = d;
         const std::size_t mark = trail_.size();
-        if (assign(0, d, 0) && assign(1, d, 1)) {
-            if (dfs(accept)) {
-                outcome_.stats = stats_;
-                outcome_.stats.seconds = timer.seconds();
-                return outcome_;
-            }
-        }
+        if (assign(0, d, 0) && assign(1, d, 1)) (void)dfs(accept);
         undo_to(mark);
     }
     outcome_.stats = stats_;
-    outcome_.stats.seconds = timer.seconds();
+    outcome_.stats.seconds = span.seconds();
+
+    obs::counter("compat.solves").add();
+    obs::counter("compat.nodes").add(stats_.search_nodes);
+    obs::counter("compat.leaves").add(stats_.leaves);
+    span.attr("vars", 2 * q);
+    span.attr("conflict_free_mode", conflict_free_mode_);
+    span.attr("nodes", stats_.search_nodes);
+    span.attr("leaves", stats_.leaves);
+    span.attr("found", outcome_.found);
     return outcome_;
 }
 

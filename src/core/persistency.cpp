@@ -3,7 +3,7 @@
 #include <set>
 
 #include "unfolding/configuration.hpp"
-#include "util/stopwatch.hpp"
+#include "obs/trace.hpp"
 
 namespace stgcc::core {
 
@@ -22,7 +22,7 @@ bool disables_signal(const stg::Stg& stg, const petri::Marking& m,
 }  // namespace
 
 PersistencyResult check_persistency(const CodingProblem& problem) {
-    Stopwatch timer;
+    obs::Span span("solve.persistency_scan");
     PersistencyResult result;
     const unf::Prefix& prefix = problem.prefix();
     const stg::Stg& stg = problem.stg();
@@ -65,12 +65,12 @@ PersistencyResult check_persistency(const CodingProblem& problem) {
             }
         }
     }
-    result.stats.seconds = timer.seconds();
+    result.stats.seconds = span.seconds();
     return result;
 }
 
 PersistencyResult check_persistency_sg(const stg::StateGraph& sg) {
-    Stopwatch timer;
+    obs::Span span("sg.check_persistency");
     PersistencyResult result;
     result.stats.states = sg.num_states();
     const stg::Stg& stg = sg.stg();
@@ -96,7 +96,7 @@ PersistencyResult check_persistency_sg(const stg::StateGraph& sg) {
             if (!result.persistent) break;
         }
     }
-    result.stats.seconds = timer.seconds();
+    result.stats.seconds = span.seconds();
     return result;
 }
 

@@ -1,6 +1,6 @@
 #include "core/reach_solver.hpp"
 
-#include "util/stopwatch.hpp"
+#include "obs/trace.hpp"
 
 namespace stgcc::core {
 
@@ -164,7 +164,7 @@ bool ReachSolver::dfs(const ConfigPredicate& accept) {
 }
 
 ReachSolver::Outcome ReachSolver::solve(const ConfigPredicate& accept) {
-    Stopwatch timer;
+    obs::Span span("reach.solve");
     val_.assign(problem_->size(), kUnassigned);
     trail_.clear();
     stats_ = stg::CheckStats{};
@@ -175,7 +175,7 @@ ReachSolver::Outcome ReachSolver::solve(const ConfigPredicate& accept) {
         if (!constraint_feasible(c)) feasible = false;
     if (feasible) dfs(accept);
     outcome_.stats = stats_;
-    outcome_.stats.seconds = timer.seconds();
+    outcome_.stats.seconds = span.seconds();
     return outcome_;
 }
 

@@ -4,16 +4,22 @@
 
 #include "core/extended_checks.hpp"
 #include "core/persistency.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stg/contraction.hpp"
 
 namespace stgcc::core {
 
 VerificationReport verify_stg(const stg::Stg& input, VerifyOptions opts) {
+    obs::Span span("verify");
+    span.attr("stg", input.name());
     VerificationReport report;
     if (opts.contract_dummies && input.has_dummies()) {
+        obs::Span phase("contract");
         auto result = stg::contract_dummies(input);
         report.dummies_contracted = result.contracted;
         report.contracted_stg = std::move(result.stg);
+        phase.attr("contracted", report.dummies_contracted);
     }
     const stg::Stg& stg = report.contracted_stg ? *report.contracted_stg : input;
     unf::Prefix prefix = unf::unfold(stg.system(), opts.unfold);
@@ -21,7 +27,9 @@ VerificationReport verify_stg(const stg::Stg& input, VerifyOptions opts) {
     report.prefix.events = prefix.num_events();
     report.prefix.cutoffs = prefix.num_cutoffs();
 
+    obs::Span consistency_span("consistency");
     const auto consistency = unf::analyze_consistency(stg, prefix);
+    consistency_span.finish();
     report.consistent = consistency.consistent;
     report.inconsistency_reason = consistency.reason;
     if (!consistency.consistent) return report;
@@ -35,12 +43,14 @@ VerificationReport verify_stg(const stg::Stg& input, VerifyOptions opts) {
         report.normalcy_checked = true;
     }
     if (opts.check_deadlock) {
+        obs::Span phase("solve.deadlock");
         report.deadlock_checked = true;
         auto deadlock = check_deadlock(checker.problem());
         report.deadlock_free = !deadlock.found;
         if (deadlock.found) report.deadlock_trace = deadlock.witness->trace;
     }
     if (opts.check_persistency) {
+        obs::Span phase("solve.persistency");
         report.persistency_checked = true;
         auto persistency = check_persistency(checker.problem());
         report.persistent = persistency.persistent;
@@ -92,6 +102,64 @@ std::string format_normalcy_witness(const stg::Stg& stg,
         << "  Code(M'') = " << w.code2.to_string() << "  Nxt = " << w.nxt2
         << "  via: " << stg.sequence_text(w.trace2) << "\n";
     return out.str();
+}
+
+namespace {
+
+obs::Json stats_json(const stg::CheckStats& s) {
+    return obs::Json::object()
+        .set("states", s.states)
+        .set("search_nodes", s.search_nodes)
+        .set("leaves", s.leaves)
+        .set("seconds", s.seconds);
+}
+
+}  // namespace
+
+obs::Json report_json(const stg::Stg& input, const VerificationReport& r) {
+    const stg::Stg& stg = r.contracted_stg ? *r.contracted_stg : input;
+    obs::Json model = obs::Json::object()
+                          .set("name", stg.name())
+                          .set("places", stg.net().num_places())
+                          .set("transitions", stg.net().num_transitions())
+                          .set("signals", stg.num_signals());
+    obs::Json prefix = obs::Json::object()
+                           .set("conditions", r.prefix.conditions)
+                           .set("events", r.prefix.events)
+                           .set("cutoffs", r.prefix.cutoffs);
+
+    obs::Json results = obs::Json::object();
+    results.set("consistent", r.consistent);
+    if (!r.consistent) {
+        results.set("inconsistency_reason", r.inconsistency_reason);
+    } else {
+        results.set("initial_code", r.initial_code.to_string());
+        results.set("usc", obs::Json::object().set("holds", r.usc.holds));
+        results.set("csc", obs::Json::object().set("holds", r.csc.holds));
+        if (r.normalcy_checked)
+            results.set("normalcy",
+                        obs::Json::object().set("normal", r.normalcy.normal));
+        if (r.deadlock_checked)
+            results.set("deadlock",
+                        obs::Json::object().set("free", r.deadlock_free));
+        if (r.persistency_checked)
+            results.set("persistency",
+                        obs::Json::object().set("persistent", r.persistent));
+    }
+
+    obs::Json stats = obs::Json::object();
+    stats.set("usc", stats_json(r.usc.stats));
+    stats.set("csc", stats_json(r.csc.stats));
+    if (r.normalcy_checked) stats.set("normalcy", stats_json(r.normalcy.stats));
+
+    obs::Json out = obs::Json::object();
+    out.set("model", std::move(model));
+    if (r.dummies_contracted > 0)
+        out.set("dummies_contracted", r.dummies_contracted);
+    out.set("prefix", std::move(prefix));
+    out.set("results", std::move(results));
+    out.set("stats", std::move(stats));
+    return out;
 }
 
 std::string format_report(const stg::Stg& input, const VerificationReport& r) {

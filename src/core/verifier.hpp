@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/checkers.hpp"
+#include "obs/json.hpp"
 
 namespace stgcc::core {
 
@@ -61,6 +62,13 @@ struct VerificationReport {
 /// Multi-line human-readable report (used by the examples and the CLI).
 [[nodiscard]] std::string format_report(const stg::Stg& stg,
                                         const VerificationReport& report);
+
+/// Machine-readable report body for `stgcheck --json` (model sizes, prefix
+/// sizes, per-property verdicts, per-check solver stats).  The caller may
+/// attach the metrics-registry snapshot alongside; see docs/OBSERVABILITY.md
+/// for the schema.
+[[nodiscard]] obs::Json report_json(const stg::Stg& stg,
+                                    const VerificationReport& report);
 
 /// Render a conflict witness as two labelled firing sequences.
 [[nodiscard]] std::string format_witness(const stg::Stg& stg,

@@ -2,9 +2,27 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace stgcc::ilp {
 
+namespace {
+// Cached registry references (lookup takes a mutex; updates are lock-free).
+struct BbMetrics {
+    obs::Counter& solves = obs::counter("bb.solves");
+    obs::Counter& nodes = obs::counter("bb.nodes");
+    obs::Counter& leaves = obs::counter("bb.leaves");
+    obs::Counter& propagations = obs::counter("bb.propagations");
+};
+BbMetrics& bb_metrics() {
+    static BbMetrics m;
+    return m;
+}
+}  // namespace
+
 std::optional<std::vector<int>> BBSolver::solve(const LeafCallback& leaf) {
+    obs::Span span("bb.solve");
     const std::size_t n = model_->num_vars();
     lo_.resize(n);
     hi_.resize(n);
@@ -24,6 +42,19 @@ std::optional<std::vector<int>> BBSolver::solve(const LeafCallback& leaf) {
     bool accepted = false;
     std::vector<int> out;
     dfs(leaf, accepted, out);
+
+    BbMetrics& bb = bb_metrics();
+    bb.solves.add();
+    bb.nodes.add(stats_.nodes);
+    bb.leaves.add(stats_.leaves);
+    bb.propagations.add(stats_.propagations);
+    span.attr("vars", n);
+    span.attr("constraints", model_->num_constraints());
+    span.attr("nodes", stats_.nodes);
+    span.attr("leaves", stats_.leaves);
+    span.attr("propagations", stats_.propagations);
+    span.attr("accepted", accepted);
+
     if (accepted) return out;
     return std::nullopt;
 }
@@ -143,6 +174,13 @@ bool BBSolver::dfs(const LeafCallback& leaf, bool& accepted, std::vector<int>& o
         return false;
     }
     ++stats_.nodes;
+    if (obs::enabled() && (stats_.nodes & 0xfffff) == 0) {
+        // Progress snapshot every ~1M nodes (zero-length span on the trace).
+        obs::Span tick("bb.progress");
+        tick.attr("nodes", stats_.nodes);
+        tick.attr("leaves", stats_.leaves);
+        tick.attr("depth", trail_.size());
+    }
     for (int v = lo_[branch]; v <= hi_[branch]; ++v) {
         const std::size_t mark = trail_.size();
         if (tighten(branch, v, v) && propagate(0)) {

@@ -1,8 +1,8 @@
 #include "ilp/encodings.hpp"
 
+#include "obs/trace.hpp"
 #include "unfolding/configuration.hpp"
 #include "unfolding/prefix_checks.hpp"
-#include "util/stopwatch.hpp"
 
 namespace stgcc::ilp {
 
@@ -11,6 +11,7 @@ using unf::EventId;
 using unf::Prefix;
 
 CodingModel build_coding_model(const stg::Stg& stg, const Prefix& prefix) {
+    obs::Span span("ilp.build_model");
     stg.require_dummy_free();
     CodingModel cm;
     const std::size_t q = prefix.num_events();
@@ -60,6 +61,8 @@ CodingModel build_coding_model(const stg::Stg& stg, const Prefix& prefix) {
         if (!terms.empty())
             cm.model.add_eq(std::move(terms), 0, "code_" + stg.signal_name(z));
     }
+    span.attr("vars", cm.model.num_vars());
+    span.attr("constraints", cm.model.num_constraints());
     return cm;
 }
 
@@ -67,7 +70,7 @@ namespace {
 
 stg::CodingCheckResult run_generic(const stg::Stg& stg, const Prefix& prefix,
                                    GenericCheckOptions opts, bool csc) {
-    Stopwatch timer;
+    obs::Span span(csc ? "ilp.check_csc" : "ilp.check_usc");
     CodingModel cm = build_coding_model(stg, prefix);
     BBSolver solver(cm.model, SolveOptions{opts.max_nodes});
 
@@ -117,7 +120,8 @@ stg::CodingCheckResult run_generic(const stg::Stg& stg, const Prefix& prefix,
             if (v[z] != 0) w.code.assign_bit(z, !w.code.test(z));
         result.witness = std::move(w);
     }
-    result.stats.seconds = timer.seconds();
+    result.stats.seconds = span.seconds();
+    span.attr("holds", result.holds);
     return result;
 }
 

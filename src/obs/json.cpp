@@ -1,0 +1,106 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace stgcc::obs {
+
+std::string Json::escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(c) & 0xff);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void append_double(std::string& out, double v) {
+    if (!std::isfinite(v)) {  // JSON has no Inf/NaN
+        out += "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    out += buf;
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+    switch (kind_) {
+        case Kind::Null: out += "null"; break;
+        case Kind::Bool: out += bool_ ? "true" : "false"; break;
+        case Kind::Int: out += std::to_string(int_); break;
+        case Kind::Uint: out += std::to_string(uint_); break;
+        case Kind::Double: append_double(out, dbl_); break;
+        case Kind::String:
+            out += '"';
+            out += escape(str_);
+            out += '"';
+            break;
+        case Kind::Array: {
+            out += '[';
+            for (std::size_t i = 0; i < items_.size(); ++i) {
+                if (i) out += ',';
+                append_newline_indent(out, indent, depth + 1);
+                items_[i].dump_to(out, indent, depth + 1);
+            }
+            if (!items_.empty()) append_newline_indent(out, indent, depth);
+            out += ']';
+            break;
+        }
+        case Kind::Object: {
+            out += '{';
+            for (std::size_t i = 0; i < members_.size(); ++i) {
+                if (i) out += ',';
+                append_newline_indent(out, indent, depth + 1);
+                out += '"';
+                out += escape(members_[i].first);
+                out += indent > 0 ? "\": " : "\":";
+                members_[i].second.dump_to(out, indent, depth + 1);
+            }
+            if (!members_.empty()) append_newline_indent(out, indent, depth);
+            out += '}';
+            break;
+        }
+    }
+}
+
+std::string Json::dump(int indent) const {
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+bool save_json(const std::string& path, const Json& j, int indent) {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << j.dump(indent) << "\n";
+    return static_cast<bool>(out);
+}
+
+}  // namespace stgcc::obs

@@ -1,0 +1,39 @@
+#include "obs/report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/trace.hpp"
+
+namespace stgcc::obs {
+
+Json make_report(const std::string& tool, Json payload) {
+    Json report = Json::object();
+    report.set("tool", tool);
+    report.set("schema_version", kReportSchemaVersion);
+    report.set("body", std::move(payload));
+    return report;
+}
+
+bool write_chrome_trace(const std::string& path) {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << Tracer::instance().chrome_trace_json();
+    return static_cast<bool>(out);
+}
+
+std::string write_bench_report(const std::string& name, Json payload) {
+    std::string dir;
+    if (const char* env = std::getenv("STGCC_BENCH_JSON_DIR")) dir = env;
+    std::string path =
+        (dir.empty() ? std::string() : dir + "/") + "BENCH_" + name + ".json";
+    Json report = Json::object();
+    report.set("tool", "stgcc-bench");
+    report.set("schema_version", kReportSchemaVersion);
+    report.set("bench", name);
+    report.set("body", std::move(payload));
+    if (!save_json(path, report)) return std::string();
+    return path;
+}
+
+}  // namespace stgcc::obs

@@ -1,0 +1,142 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace stgcc::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}
+
+void set_enabled(bool on) {
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+// Per-thread stack of open span indices; gives each begin_span its parent.
+thread_local std::vector<std::uint32_t> t_open_spans;
+}  // namespace
+
+Tracer& Tracer::instance() {
+    static Tracer tracer;
+    return tracer;
+}
+
+void Tracer::clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.clear();
+    tids_.clear();
+    epoch_.reset();
+}
+
+std::uint32_t Tracer::begin_span(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    SpanRecord rec;
+    rec.name = std::string(name);
+    rec.start_ns = epoch_.nanos();
+    rec.parent = t_open_spans.empty() ? kNoSpan : t_open_spans.back();
+    rec.depth = static_cast<std::uint32_t>(t_open_spans.size());
+    rec.tid = tids_.emplace(std::this_thread::get_id(),
+                            static_cast<std::uint32_t>(tids_.size() + 1))
+                  .first->second;
+    const auto id = static_cast<std::uint32_t>(spans_.size());
+    spans_.push_back(std::move(rec));
+    t_open_spans.push_back(id);
+    return id;
+}
+
+void Tracer::end_span(std::uint32_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= spans_.size()) return;
+    spans_[id].end_ns = epoch_.nanos();
+    spans_[id].open = false;
+    // Normal RAII usage ends spans innermost-first; tolerate stray handles.
+    if (!t_open_spans.empty() && t_open_spans.back() == id)
+        t_open_spans.pop_back();
+    else
+        t_open_spans.erase(
+            std::remove(t_open_spans.begin(), t_open_spans.end(), id),
+            t_open_spans.end());
+}
+
+void Tracer::add_attr(std::uint32_t id, std::string_view key, Json value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= spans_.size()) return;
+    spans_[id].attrs.emplace_back(std::string(key), std::move(value));
+}
+
+std::size_t Tracer::num_spans() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_.size();
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+}
+
+std::string Tracer::chrome_trace_json() const {
+    const std::vector<SpanRecord> spans = snapshot();
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    bool first = true;
+    char buf[64];
+    for (const SpanRecord& s : spans) {
+        if (!first) out += ",\n";
+        first = false;
+        out += "{\"name\":\"" + Json::escape(s.name) +
+               "\",\"cat\":\"stgcc\",\"ph\":\"X\"";
+        std::snprintf(buf, sizeof buf, ",\"ts\":%.3f",
+                      static_cast<double>(s.start_ns) / 1e3);
+        out += buf;
+        const std::uint64_t end = s.open ? s.start_ns : s.end_ns;
+        std::snprintf(buf, sizeof buf, ",\"dur\":%.3f",
+                      static_cast<double>(end - s.start_ns) / 1e3);
+        out += buf;
+        std::snprintf(buf, sizeof buf, ",\"pid\":1,\"tid\":%u", s.tid);
+        out += buf;
+        if (!s.attrs.empty()) {
+            Json args = Json::object();
+            for (const auto& [k, v] : s.attrs) args.set(k, v);
+            out += ",\"args\":" + args.dump();
+        }
+        out += "}";
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+namespace {
+
+std::string fmt_duration(std::uint64_t ns) {
+    char buf[32];
+    const double s = static_cast<double>(ns) / 1e9;
+    if (s < 1e-3)
+        std::snprintf(buf, sizeof buf, "%.1fus", s * 1e6);
+    else if (s < 1.0)
+        std::snprintf(buf, sizeof buf, "%.2fms", s * 1e3);
+    else
+        std::snprintf(buf, sizeof buf, "%.3fs", s);
+    return buf;
+}
+
+}  // namespace
+
+std::string Tracer::tree_summary() const {
+    const std::vector<SpanRecord> spans = snapshot();
+    std::string out;
+    for (const SpanRecord& s : spans) {
+        out.append(2 * static_cast<std::size_t>(s.depth), ' ');
+        out += s.name;
+        out += "  ";
+        out += s.open ? "(open)"
+                      : fmt_duration(s.end_ns - s.start_ns);
+        for (const auto& [k, v] : s.attrs) {
+            out += "  " + k + "=" + v.dump();
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+}  // namespace stgcc::obs

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/trace.hpp"
+
 namespace stgcc::petri {
 
 ReachabilityGraph::ReachabilityGraph(const NetSystem& sys, ReachOptions opts)
     : sys_(&sys) {
+    obs::Span span("reach.build");
     const Marking& m0 = sys.initial_marking();
     states_.push_back(m0);
     index_.emplace(m0, 0);
@@ -46,6 +49,9 @@ ReachabilityGraph::ReachabilityGraph(const NetSystem& sys, ReachOptions opts)
             ++num_edges_;
         }
     }
+    span.attr("states", states_.size());
+    span.attr("edges", num_edges_);
+    span.attr("hash_load", index_.load_factor());
 }
 
 StateId ReachabilityGraph::find(const Marking& m) const {

@@ -52,6 +52,11 @@ public:
         return succ_[s];
     }
 
+    /// Load factor of the marking-interning hash table (observability).
+    [[nodiscard]] float hash_load_factor() const noexcept {
+        return index_.load_factor();
+    }
+
     /// True when every reachable marking is 1-bounded.
     [[nodiscard]] bool is_safe() const noexcept { return safe_; }
 

@@ -2,7 +2,7 @@
 
 #include <unordered_map>
 
-#include "util/stopwatch.hpp"
+#include "obs/trace.hpp"
 
 namespace stgcc::stg {
 
@@ -31,7 +31,7 @@ void require_consistent(const StateGraph& sg) {
 
 CodingCheckResult check_usc_sg(const StateGraph& sg) {
     require_consistent(sg);
-    Stopwatch timer;
+    obs::Span span("sg.check_usc");
     CodingCheckResult result;
     result.stats.states = sg.num_states();
 
@@ -46,13 +46,15 @@ CodingCheckResult check_usc_sg(const StateGraph& sg) {
             break;
         }
     }
-    result.stats.seconds = timer.seconds();
+    result.stats.seconds = span.seconds();
+    span.attr("states", result.stats.states);
+    span.attr("holds", result.holds);
     return result;
 }
 
 CodingCheckResult check_csc_sg(const StateGraph& sg) {
     require_consistent(sg);
-    Stopwatch timer;
+    obs::Span span("sg.check_csc");
     CodingCheckResult result;
     result.stats.states = sg.num_states();
 
@@ -73,13 +75,15 @@ CodingCheckResult check_csc_sg(const StateGraph& sg) {
             break;
         }
     }
-    result.stats.seconds = timer.seconds();
+    result.stats.seconds = span.seconds();
+    span.attr("states", result.stats.states);
+    span.attr("holds", result.holds);
     return result;
 }
 
 NormalcyResult check_normalcy_sg(const StateGraph& sg) {
     require_consistent(sg);
-    Stopwatch timer;
+    obs::Span span("sg.check_normalcy");
     const Stg& stg = sg.stg();
     NormalcyResult result;
 
@@ -158,7 +162,9 @@ NormalcyResult check_normalcy_sg(const StateGraph& sg) {
     }
     for (const auto& sn : result.per_signal)
         if (!sn.normal()) result.normal = false;
-    result.stats.seconds = timer.seconds();
+    result.stats.seconds = span.seconds();
+    span.attr("states", result.stats.states);
+    span.attr("normal", result.normal);
     return result;
 }
 

@@ -3,10 +3,24 @@
 #include <deque>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace stgcc::stg {
 
 StateGraph::StateGraph(const Stg& stg, petri::ReachOptions opts)
     : stg_(&stg), rg_(stg.system(), opts) {
+    obs::Span span("sg.build");
+    obs::counter("sg.builds").add();
+    obs::counter("sg.states").add(rg_.num_states());
+    obs::counter("sg.edges").add(rg_.num_edges());
+    if (span.recording()) {
+        obs::gauge("sg.hash_load_permille")
+            .set(static_cast<std::int64_t>(rg_.hash_load_factor() * 1000.0f));
+        span.attr("states", rg_.num_states());
+        span.attr("edges", rg_.num_edges());
+        span.attr("hash_load", rg_.hash_load_factor());
+    }
     using petri::StateId;
     const std::size_t z_count = stg.num_signals();
 

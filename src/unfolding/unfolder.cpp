@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "unfolding/orders.hpp"
 #include "util/hash.hpp"
 
@@ -23,17 +25,49 @@ public:
         : sys_(sys), opts_(opts), prefix_(sys) {}
 
     Prefix run() {
+        obs::Span span("unfold");
         seed_initial_conditions();
         for (ConditionId b : prefix_.min_conditions()) extensions_from(b);
 
         while (!queue_.empty()) {
+            if (obs::enabled()) {
+                // Possible-extension queue depth over time: one sample per
+                // popped candidate (the paper's PE set is the live frontier).
+                obs::histogram("unfold.pe_queue_depth").observe(queue_.size());
+                obs::gauge("unfold.pe_queue_peak")
+                    .record_max(static_cast<std::int64_t>(queue_.size()));
+            }
             Candidate cand = std::move(queue_.extract(queue_.begin()).value());
             insert_event(std::move(cand));
         }
+        finish_instrumentation(span);
         return std::move(prefix_);
     }
 
 private:
+    /// End-of-run accounting: prefix sizes as monotonic counters (aggregated
+    /// across unfold calls in the JSON report) and final sizes as span
+    /// attributes; the concurrency-relation bit count is only computed when
+    /// tracing is on, since it walks |B| bit vectors.
+    void finish_instrumentation(obs::Span& span) {
+        obs::counter("unfold.runs").add();
+        obs::counter("unfold.events").add(prefix_.num_events());
+        obs::counter("unfold.conditions").add(prefix_.num_conditions());
+        obs::counter("unfold.cutoffs").add(prefix_.num_cutoffs());
+        if (!span.recording()) return;
+        std::size_t co_bits = 0;
+        for (const BitVec& row : co_) co_bits += row.count();
+        obs::gauge("unfold.co_pairs").set(static_cast<std::int64_t>(co_bits / 2));
+        span.attr("events", prefix_.num_events());
+        span.attr("conditions", prefix_.num_conditions());
+        span.attr("cutoffs", prefix_.num_cutoffs());
+        span.attr("co_pairs", co_bits / 2);
+        if (prefix_.num_events() > 0)
+            span.attr("cutoff_ratio",
+                      static_cast<double>(prefix_.num_cutoffs()) /
+                          static_cast<double>(prefix_.num_events()));
+    }
+
     struct Candidate {
         OrderKey key;
         petri::TransitionId transition;
@@ -216,6 +250,14 @@ private:
             throw ModelError("unfolding: event limit exceeded (" +
                              std::to_string(opts_.max_events) + "); unbounded net?");
         const EventId e = prefix_.add_event(cand.transition, cand.preset);
+        if (obs::enabled() && (prefix_.num_events() & 1023) == 0) {
+            // Periodic progress snapshot for long unfoldings (zero-length
+            // span; shows up as a tick mark on the trace timeline).
+            obs::Span tick("unfold.progress");
+            tick.attr("events", prefix_.num_events());
+            tick.attr("conditions", prefix_.num_conditions());
+            tick.attr("queue", queue_.size());
+        }
 
         // Add postset conditions (they belong to Cut([e])).
         std::vector<ConditionId> postset;

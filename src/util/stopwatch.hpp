@@ -1,15 +1,16 @@
-// stgcc -- simple wall-clock stopwatch for benches and reports.
+// stgcc -- simple wall-clock stopwatch for benches, reports and the tracer.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace stgcc {
 
 class Stopwatch {
 public:
-    Stopwatch() : start_(Clock::now()) {}
+    Stopwatch() : start_(Clock::now()), lap_(start_) {}
 
-    void reset() { start_ = Clock::now(); }
+    void reset() { start_ = lap_ = Clock::now(); }
 
     /// Elapsed time in seconds since construction or the last reset().
     [[nodiscard]] double seconds() const {
@@ -19,9 +20,31 @@ public:
     /// Elapsed time in milliseconds.
     [[nodiscard]] double millis() const { return seconds() * 1e3; }
 
+    /// Elapsed integer nanoseconds since construction or the last reset();
+    /// the tracer uses this as its monotonic timestamp source.
+    [[nodiscard]] std::uint64_t nanos() const {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 start_)
+                .count());
+    }
+
+    /// Split: seconds since start, without disturbing the running lap.
+    [[nodiscard]] double split() const { return seconds(); }
+
+    /// Lap: seconds since the last lap() (or reset()/construction), then
+    /// advance the lap mark.  Lets one stopwatch time a sequence of phases.
+    double lap() {
+        const auto now = Clock::now();
+        const double s = std::chrono::duration<double>(now - lap_).count();
+        lap_ = now;
+        return s;
+    }
+
 private:
     using Clock = std::chrono::steady_clock;
     Clock::time_point start_;
+    Clock::time_point lap_;
 };
 
 }  // namespace stgcc
