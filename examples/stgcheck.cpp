@@ -13,6 +13,7 @@
 //
 // Exit codes: 0 = all checked properties hold, 1 = a conflict / violation
 // was found, 2 = usage or IO error, 3 = internal error (baselines disagree).
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -33,6 +34,12 @@ namespace {
 
 void print_usage(std::ostream& out) {
     out << "usage: stgcheck file.g [options]\n"
+           "\n"
+           "execution:\n"
+           "  --jobs N            worker threads for the checking phases\n"
+           "                      (default: hardware concurrency; 1 = serial,\n"
+           "                      no thread pool; results are identical at\n"
+           "                      any N)\n"
            "\n"
            "checks:\n"
            "  --no-normalcy       skip the normalcy check\n"
@@ -79,6 +86,7 @@ int main(int argc, char** argv) {
     bool cores = false;
     bool persistency = false;
     bool metrics = false;
+    unsigned jobs = 0;  // 0 = hardware concurrency
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--no-normalcy"))
             normalcy = false;
@@ -99,6 +107,14 @@ int main(int argc, char** argv) {
         else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
             print_usage(std::cout);
             return 0;
+        } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+            char* end = nullptr;
+            const unsigned long v = std::strtoul(argv[++i], &end, 10);
+            if (!end || *end != '\0') {
+                std::cerr << "bad --jobs value: " << argv[i] << "\n";
+                return 2;
+            }
+            jobs = static_cast<unsigned>(v);
         } else if (!std::strcmp(argv[i], "--dot") && i + 1 < argc)
             dot_path = argv[++i];
         else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
@@ -131,6 +147,7 @@ int main(int argc, char** argv) {
         parse_span.finish();
 
         core::VerifyOptions opts;
+        opts.jobs = jobs;
         opts.check_normalcy = normalcy;
         opts.contract_dummies = contract;
         opts.check_deadlock = deadlock;
@@ -192,6 +209,7 @@ int main(int argc, char** argv) {
 
         if (json_path) {
             obs::Json body = core::report_json(model, report);
+            body.set("jobs", report.jobs);
             body.set("metrics", obs::Registry::instance().to_json());
             if (!obs::save_json(json_path,
                                 obs::make_report("stgcheck", std::move(body)))) {

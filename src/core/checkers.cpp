@@ -1,5 +1,7 @@
 #include "core/checkers.hpp"
 
+#include <mutex>
+
 #include "obs/trace.hpp"
 #include "unfolding/configuration.hpp"
 
@@ -71,15 +73,74 @@ stg::CodingCheckResult UnfoldingChecker::check_csc(SearchOptions opts) const {
     return result;
 }
 
-stg::NormalcyResult UnfoldingChecker::check_normalcy(SearchOptions opts) const {
-    obs::Span span("solve.normalcy");
+stg::CodingCheckResult UnfoldingChecker::check_csc(SearchOptions opts,
+                                                   sched::Executor& ex) const {
+    obs::Span span("solve.csc");
+    span.attr("decomposition", "per_signal");
     const std::vector<stg::SignalId> outputs = stg_->circuit_driven_signals();
-    stg::NormalcyResult result;
-    result.per_signal.resize(outputs.size());
-    for (std::size_t i = 0; i < outputs.size(); ++i)
-        result.per_signal[i].signal = outputs[i];
+    stg::CodingCheckResult result;
+    if (outputs.empty()) return result;  // no circuit-driven signal: holds
 
-    auto make_nw = [&](stg::SignalId z, const BitVec& lo_cfg, const BitVec& hi_cfg) {
+    // Stats are accumulated across all per-signal instances (including
+    // cancelled ones), so totals depend on the schedule -- verdicts and
+    // witnesses do not (see find_first).
+    std::mutex stats_mu;
+    stg::CheckStats total;
+
+    auto hit = sched::find_first<SearchOutcome>(
+        ex, outputs.size(),
+        [&](std::size_t i, const sched::CancellationToken& token)
+            -> std::optional<SearchOutcome> {
+            const stg::SignalId z = outputs[i];
+            obs::Span task_span("solve.csc.signal");
+            task_span.attr("signal", stg_->signal_name(z));
+            SearchOptions local = opts;
+            local.cancel = token;
+            CompatSolver solver(*problem_, local);
+            auto outcome = solver.solve(
+                CodeRelation::Equal, [&](const BitVec& ca, const BitVec& cb) {
+                    // Per-signal CSC predicate: z enabled at exactly one of
+                    // the two markings (a CSC conflict exists iff some
+                    // circuit-driven signal has one).
+                    const petri::Marking ma =
+                        unf::marking_of(prefix_, problem_->to_event_set(ca));
+                    const petri::Marking mb =
+                        unf::marking_of(prefix_, problem_->to_event_set(cb));
+                    return stg_->signal_enabled(ma, z) !=
+                           stg_->signal_enabled(mb, z);
+                });
+            {
+                std::lock_guard<std::mutex> lock(stats_mu);
+                total.search_nodes += outcome.stats.search_nodes;
+                total.leaves += outcome.stats.leaves;
+                total.seconds += outcome.stats.seconds;
+            }
+            if (!outcome.found) return std::nullopt;
+            return outcome;
+        });
+
+    result.stats = total;
+    if (hit) {
+        result.holds = false;
+        result.witness = make_witness(hit->value.ca, hit->value.cb);
+    }
+    span.attr("signals", outputs.size());
+    span.attr("holds", result.holds);
+    return result;
+}
+
+UnfoldingChecker::NormalcyPass UnfoldingChecker::run_normalcy_pass(
+    CodeRelation rel, SearchOptions opts,
+    const std::vector<stg::SignalId>& outputs) const {
+    obs::Span span("solve.normalcy.pass");
+    span.attr("relation", rel == CodeRelation::LessEq ? "less_eq" : "greater_eq");
+    NormalcyPass pass;
+    pass.per_signal.resize(outputs.size());
+    for (std::size_t i = 0; i < outputs.size(); ++i)
+        pass.per_signal[i].signal = outputs[i];
+
+    auto make_nw = [&](stg::SignalId z, const BitVec& lo_cfg,
+                       const BitVec& hi_cfg) {
         stg::NormalcyWitness w;
         w.signal = z;
         const BitVec el = problem_->to_event_set(lo_cfg);
@@ -95,55 +156,118 @@ stg::NormalcyResult UnfoldingChecker::check_normalcy(SearchOptions opts) const {
         return w;
     };
 
-    // One pass per orientation of the code-dominance constraint; the
-    // enumeration covers each unordered pair once, so a violating ordered
-    // pair is found either with Code(x') <= Code(x'') (lo = x') or with
-    // Code(x') >= Code(x'') (lo = x'').
-    for (CodeRelation rel : {CodeRelation::LessEq, CodeRelation::GreaterEq}) {
-        bool all_resolved = false;
-        CompatSolver solver(*problem_, opts);
-        auto outcome = solver.solve(rel, [&](const BitVec& ca, const BitVec& cb) {
-            const BitVec& lo_cfg = rel == CodeRelation::LessEq ? ca : cb;
-            const BitVec& hi_cfg = rel == CodeRelation::LessEq ? cb : ca;
-            const petri::Marking mlo =
-                unf::marking_of(prefix_, problem_->to_event_set(lo_cfg));
-            const petri::Marking mhi =
-                unf::marking_of(prefix_, problem_->to_event_set(hi_cfg));
-            const stg::Code clo = problem_->code_of(lo_cfg);
-            const stg::Code chi = problem_->code_of(hi_cfg);
-            bool progress = false;
-            for (std::size_t i = 0; i < outputs.size(); ++i) {
-                stg::SignalNormalcy& sn = result.per_signal[i];
-                const stg::SignalId z = outputs[i];
-                if (sn.p_normal || sn.n_normal) {
-                    const bool nxt_lo = stg_->nxt(mlo, clo, z);
-                    const bool nxt_hi = stg_->nxt(mhi, chi, z);
-                    if (sn.p_normal && nxt_lo && !nxt_hi) {
-                        sn.p_normal = false;
-                        sn.p_violation = make_nw(z, lo_cfg, hi_cfg);
-                        progress = true;
-                    }
-                    if (sn.n_normal && !nxt_lo && nxt_hi) {
-                        sn.n_normal = false;
-                        sn.n_violation = make_nw(z, lo_cfg, hi_cfg);
-                        progress = true;
-                    }
+    // The enumeration covers each unordered pair once, so a violating
+    // ordered pair is found either with Code(x') <= Code(x'') (lo = x')
+    // or with Code(x') >= Code(x'') (lo = x'').  Each flag keeps the
+    // *first* violating pair in enumeration order, which is deterministic.
+    CompatSolver solver(*problem_, opts);
+    auto outcome = solver.solve(rel, [&](const BitVec& ca, const BitVec& cb) {
+        const BitVec& lo_cfg = rel == CodeRelation::LessEq ? ca : cb;
+        const BitVec& hi_cfg = rel == CodeRelation::LessEq ? cb : ca;
+        const petri::Marking mlo =
+            unf::marking_of(prefix_, problem_->to_event_set(lo_cfg));
+        const petri::Marking mhi =
+            unf::marking_of(prefix_, problem_->to_event_set(hi_cfg));
+        const stg::Code clo = problem_->code_of(lo_cfg);
+        const stg::Code chi = problem_->code_of(hi_cfg);
+        for (std::size_t i = 0; i < outputs.size(); ++i) {
+            stg::SignalNormalcy& sn = pass.per_signal[i];
+            const stg::SignalId z = outputs[i];
+            if (sn.p_normal || sn.n_normal) {
+                const bool nxt_lo = stg_->nxt(mlo, clo, z);
+                const bool nxt_hi = stg_->nxt(mhi, chi, z);
+                if (sn.p_normal && nxt_lo && !nxt_hi) {
+                    sn.p_normal = false;
+                    sn.p_violation = make_nw(z, lo_cfg, hi_cfg);
+                }
+                if (sn.n_normal && !nxt_lo && nxt_hi) {
+                    sn.n_normal = false;
+                    sn.n_violation = make_nw(z, lo_cfg, hi_cfg);
                 }
             }
-            (void)progress;
-            // Stop early only when no signal can still be classified normal.
-            bool anything_open = false;
-            for (const auto& sn : result.per_signal)
-                if (sn.p_normal || sn.n_normal) anything_open = true;
-            if (!anything_open) all_resolved = true;
-            return all_resolved;
+        }
+        // Stop early only when no signal can still be classified normal.
+        bool anything_open = false;
+        for (const auto& sn : pass.per_signal)
+            if (sn.p_normal || sn.n_normal) anything_open = true;
+        if (!anything_open) pass.all_resolved = true;
+        return pass.all_resolved;
+    });
+    pass.stats.search_nodes = outcome.stats.search_nodes;
+    pass.stats.leaves = outcome.stats.leaves;
+    pass.stats.seconds = outcome.stats.seconds;
+    return pass;
+}
+
+stg::NormalcyResult UnfoldingChecker::check_normalcy(SearchOptions opts) const {
+    sched::Executor serial(1);
+    return check_normalcy(opts, serial);
+}
+
+stg::NormalcyResult UnfoldingChecker::check_normalcy(SearchOptions opts,
+                                                     sched::Executor& ex) const {
+    obs::Span span("solve.normalcy");
+    const std::vector<stg::SignalId> outputs = stg_->circuit_driven_signals();
+
+    NormalcyPass less, greater;
+    bool use_greater = false;
+    if (!ex.parallel()) {
+        less = run_normalcy_pass(CodeRelation::LessEq, opts, outputs);
+        if (!less.all_resolved) {
+            greater = run_normalcy_pass(CodeRelation::GreaterEq, opts, outputs);
+            use_greater = true;
+        }
+    } else {
+        // Both orientations on fresh state, concurrently.  If the LessEq
+        // pass already falsifies every flag, the GreaterEq pass is
+        // redundant: cancel it and ignore whatever it produced (the merge
+        // below would discard it anyway), matching the serial skip.
+        sched::CancellationSource cancel_greater;
+        SearchOptions gopts = opts;
+        gopts.cancel = cancel_greater.token();
+        std::vector<std::function<void()>> passes;
+        passes.emplace_back([&] {
+            less = run_normalcy_pass(CodeRelation::LessEq, opts, outputs);
+            if (less.all_resolved) cancel_greater.cancel();
         });
-        result.stats.search_nodes += outcome.stats.search_nodes;
-        result.stats.leaves += outcome.stats.leaves;
-        result.stats.seconds += outcome.stats.seconds;
-        if (all_resolved) break;
+        passes.emplace_back([&] {
+            greater = run_normalcy_pass(CodeRelation::GreaterEq, gopts, outputs);
+        });
+        sched::parallel_invoke(ex, std::move(passes));
+        use_greater = !less.all_resolved;
     }
 
+    // Merge in orientation order, LessEq first: a flag falsified by the
+    // LessEq pass keeps that pass's witness; only flags it left open take
+    // the GreaterEq verdict.  This makes the result independent of which
+    // pass finished first.
+    stg::NormalcyResult result;
+    result.per_signal.resize(outputs.size());
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+        stg::SignalNormalcy& sn = result.per_signal[i];
+        sn.signal = outputs[i];
+        const stg::SignalNormalcy& l = less.per_signal[i];
+        if (!l.p_normal) {
+            sn.p_normal = false;
+            sn.p_violation = l.p_violation;
+        } else if (use_greater && !greater.per_signal[i].p_normal) {
+            sn.p_normal = false;
+            sn.p_violation = greater.per_signal[i].p_violation;
+        }
+        if (!l.n_normal) {
+            sn.n_normal = false;
+            sn.n_violation = l.n_violation;
+        } else if (use_greater && !greater.per_signal[i].n_normal) {
+            sn.n_normal = false;
+            sn.n_violation = greater.per_signal[i].n_violation;
+        }
+    }
+    result.stats = less.stats;
+    if (use_greater) {
+        result.stats.search_nodes += greater.stats.search_nodes;
+        result.stats.leaves += greater.stats.leaves;
+        result.stats.seconds += greater.stats.seconds;
+    }
     result.normal = true;
     for (const auto& sn : result.per_signal)
         if (!sn.normal()) result.normal = false;

@@ -10,6 +10,7 @@
 
 #include "core/coding_problem.hpp"
 #include "core/compat_solver.hpp"
+#include "sched/parallel.hpp"
 #include "stg/results.hpp"
 #include "unfolding/unfolder.hpp"
 
@@ -42,14 +43,44 @@ public:
     /// approach collapses to filtering USC solutions by the Out predicate).
     [[nodiscard]] stg::CodingCheckResult check_csc(SearchOptions opts = {}) const;
 
+    /// CSC decomposed into independent per-signal instances (one solve per
+    /// circuit-driven signal z, predicate "z enabled at exactly one of the
+    /// two markings") fanned out on `ex` with first-witness early stop:
+    /// once a conflict for some signal is found, instances for later
+    /// signals are cancelled.  Deterministic at any `--jobs`: the reported
+    /// witness is the one of the *lowest-id* conflicting signal, and an
+    /// `Executor(1)` runs the identical decomposition serially.  Note the
+    /// witness may legitimately differ from the single-instance
+    /// check_csc(), which reports the globally first conflicting pair.
+    [[nodiscard]] stg::CodingCheckResult check_csc(SearchOptions opts,
+                                                  sched::Executor& ex) const;
+
     /// Normalcy of every circuit-driven signal (paper, section 6): solve the
     /// code-dominance system in both orientations, classifying each signal
     /// as p-normal / n-normal / not normal, with witnesses.
     [[nodiscard]] stg::NormalcyResult check_normalcy(SearchOptions opts = {}) const;
 
+    /// Normalcy with the two code-dominance orientations run as independent
+    /// instances on `ex` (the GreaterEq pass is cancelled early if the
+    /// LessEq pass already falsifies every flag).  Results are merged in
+    /// orientation order (LessEq first), so verdicts and witnesses are
+    /// identical at any `--jobs`, including `Executor(1)`.
+    [[nodiscard]] stg::NormalcyResult check_normalcy(SearchOptions opts,
+                                                     sched::Executor& ex) const;
+
 private:
     [[nodiscard]] stg::ConflictWitness make_witness(const BitVec& ca,
                                                     const BitVec& cb) const;
+
+    /// One normalcy orientation solved against fresh per-signal state.
+    struct NormalcyPass {
+        std::vector<stg::SignalNormalcy> per_signal;
+        stg::CheckStats stats;
+        bool all_resolved = false;  ///< every flag of every signal falsified
+    };
+    [[nodiscard]] NormalcyPass run_normalcy_pass(
+        CodeRelation rel, SearchOptions opts,
+        const std::vector<stg::SignalId>& outputs) const;
 
     const stg::Stg* stg_;
     unf::Prefix prefix_;

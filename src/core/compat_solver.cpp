@@ -151,6 +151,13 @@ bool CompatSolver::dfs(const PairPredicate& accept) {
     if (++stats_.search_nodes > opts_.max_nodes)
         throw ModelError("CompatSolver: node limit exceeded (" +
                          std::to_string(opts_.max_nodes) + ")");
+    // Cooperative cancellation: poll every kCancelPollMask+1 nodes, then
+    // unwind the whole search (returning false never records a witness).
+    if (opts_.cancel.cancellable() &&
+        (stats_.search_nodes & kCancelPollMask) == 0 &&
+        opts_.cancel.cancelled())
+        cancelled_ = true;
+    if (cancelled_) return false;
 
     // Select the branching variable.
     const std::size_t q = problem_->size();
@@ -253,12 +260,14 @@ SearchOutcome CompatSolver::solve(CodeRelation relation,
     }
 
     // Outer loop over the first index d where the two vectors differ.
-    for (std::size_t d = 0; d < q && !outcome_.found; ++d) {
+    cancelled_ = false;
+    for (std::size_t d = 0; d < q && !outcome_.found && !cancelled_; ++d) {
         first_diff_ = d;
         const std::size_t mark = trail_.size();
         if (assign(0, d, 0) && assign(1, d, 1)) (void)dfs(accept);
         undo_to(mark);
     }
+    outcome_.cancelled = cancelled_;
     outcome_.stats = stats_;
     outcome_.stats.seconds = span.seconds();
 
@@ -270,6 +279,7 @@ SearchOutcome CompatSolver::solve(CodeRelation relation,
     span.attr("nodes", stats_.search_nodes);
     span.attr("leaves", stats_.leaves);
     span.attr("found", outcome_.found);
+    if (cancelled_) span.attr("cancelled", true);
     return outcome_;
 }
 

@@ -30,6 +30,7 @@
 #include <optional>
 
 #include "core/coding_problem.hpp"
+#include "sched/cancellation.hpp"
 #include "stg/results.hpp"
 
 namespace stgcc::core {
@@ -59,6 +60,10 @@ struct SearchOptions {
     /// Branch value tried first (0 biases towards small configurations).
     int first_branch_value = 0;
     BranchHeuristic heuristic = BranchHeuristic::IndexOrder;
+    /// Cooperative cancellation, polled every kCancelPollMask+1 search
+    /// nodes; a cancelled solve stops early with found == false and
+    /// cancelled == true.  Empty token (the default): never cancelled.
+    sched::CancellationToken cancel;
 };
 
 /// Leaf predicate: given the two dense configurations, decide whether they
@@ -68,7 +73,8 @@ using PairPredicate = std::function<bool(const BitVec& ca, const BitVec& cb)>;
 
 struct SearchOutcome {
     bool found = false;
-    BitVec ca, cb;  ///< dense configurations when found
+    bool cancelled = false;  ///< search stopped by SearchOptions::cancel
+    BitVec ca, cb;           ///< dense configurations when found
     stg::CheckStats stats;
 };
 
@@ -83,6 +89,8 @@ public:
 
 private:
     static constexpr int kUnassigned = -1;
+    /// Cancellation poll period: every 1024 search nodes.
+    static constexpr std::size_t kCancelPollMask = 1023;
 
     struct SignalState {
         int fixed = 0;      ///< contribution of assigned variables to D_z
@@ -110,6 +118,7 @@ private:
     SearchOptions opts_;
     CodeRelation relation_ = CodeRelation::Equal;
     bool conflict_free_mode_ = false;
+    bool cancelled_ = false;
     std::size_t first_diff_ = 0;  ///< current outer-loop index d
 
     std::vector<std::int8_t> val_[2];

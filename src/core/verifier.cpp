@@ -11,6 +11,12 @@
 namespace stgcc::core {
 
 VerificationReport verify_stg(const stg::Stg& input, VerifyOptions opts) {
+    sched::Executor ex(opts.jobs);
+    return verify_stg(input, std::move(opts), ex);
+}
+
+VerificationReport verify_stg(const stg::Stg& input, VerifyOptions opts,
+                              sched::Executor& ex) {
     obs::Span span("verify");
     span.attr("stg", input.name());
     VerificationReport report;
@@ -36,12 +42,23 @@ VerificationReport verify_stg(const stg::Stg& input, VerifyOptions opts) {
     report.initial_code = consistency.initial_code;
 
     UnfoldingChecker checker(stg, std::move(prefix));
-    report.usc = checker.check_usc(opts.search);
-    report.csc = checker.check_csc(opts.search);
+    // The three coding phases are independent reads of the same prefix and
+    // coding problem; each phase writes a disjoint report field, so they
+    // can run concurrently.  The serial executor (jobs == 1) calls them in
+    // order through the identical decomposition -- results are the same at
+    // any jobs value (docs/PARALLELISM.md).
+    report.jobs = ex.jobs();
+    span.attr("jobs", report.jobs);
+    std::vector<std::function<void()>> phases;
+    phases.emplace_back([&] { report.usc = checker.check_usc(opts.search); });
+    phases.emplace_back(
+        [&] { report.csc = checker.check_csc(opts.search, ex); });
     if (opts.check_normalcy) {
-        report.normalcy = checker.check_normalcy(opts.search);
         report.normalcy_checked = true;
+        phases.emplace_back(
+            [&] { report.normalcy = checker.check_normalcy(opts.search, ex); });
     }
+    sched::parallel_invoke(ex, std::move(phases));
     if (opts.check_deadlock) {
         obs::Span phase("solve.deadlock");
         report.deadlock_checked = true;
@@ -130,6 +147,7 @@ obs::Json report_json(const stg::Stg& input, const VerificationReport& r) {
 
     obs::Json results = obs::Json::object();
     results.set("consistent", r.consistent);
+    results.set("jobs", r.jobs);
     if (!r.consistent) {
         results.set("inconsistency_reason", r.inconsistency_reason);
     } else {

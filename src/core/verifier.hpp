@@ -16,6 +16,11 @@ namespace stgcc::core {
 struct VerifyOptions {
     unf::UnfoldOptions unfold;
     SearchOptions search;
+    /// Worker threads for the checking phases (src/sched/): USC, the
+    /// per-signal CSC instances and the two normalcy orientations run
+    /// concurrently.  1 = fully serial (no pool is created); 0 = hardware
+    /// concurrency.  Verdicts and witnesses are identical at any value.
+    unsigned jobs = 1;
     bool check_normalcy = true;
     /// Securely contract dummy transitions before checking (the checkers
     /// themselves require dummy-free STGs).  Dummies that resist secure
@@ -35,6 +40,7 @@ struct PrefixStats {
 
 struct VerificationReport {
     PrefixStats prefix;
+    unsigned jobs = 1;  ///< resolved worker count the checks ran with
     bool consistent = true;
     std::string inconsistency_reason;
     stg::Code initial_code;
@@ -58,6 +64,14 @@ struct VerificationReport {
 /// normalcy are left at their defaults, consistent == false).
 [[nodiscard]] VerificationReport verify_stg(const stg::Stg& stg,
                                             VerifyOptions opts = {});
+
+/// Same, but on a caller-owned executor (VerifyOptions::jobs is ignored).
+/// Lets a corpus driver such as `stgbatch` share one pool between
+/// model-level and within-model parallelism: the checking phases submit to
+/// `ex` and help while waiting, so nesting cannot deadlock.
+[[nodiscard]] VerificationReport verify_stg(const stg::Stg& stg,
+                                            VerifyOptions opts,
+                                            sched::Executor& ex);
 
 /// Multi-line human-readable report (used by the examples and the CLI).
 [[nodiscard]] std::string format_report(const stg::Stg& stg,

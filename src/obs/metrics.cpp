@@ -6,6 +6,18 @@
 
 namespace stgcc::obs {
 
+namespace detail {
+unsigned counter_shard() noexcept {
+    // Dense thread enumeration: each thread claims the next slot on first
+    // use and keeps it for its lifetime, so up to kCounterShards concurrent
+    // threads write fully contention-free.
+    static std::atomic<unsigned> next{0};
+    thread_local const unsigned slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kCounterShards;
+    return slot;
+}
+}  // namespace detail
+
 std::uint64_t Histogram::count() const noexcept {
     std::uint64_t total = 0;
     for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
@@ -38,10 +50,12 @@ constexpr const char* kBuiltinCounters[] = {
     "bb.leaves",        "bb.propagations",    "compat.solves",
     "compat.nodes",     "compat.leaves",      "compat.signal_prunes",
     "compat.closure_prunes", "sg.builds",     "sg.states",
-    "sg.edges",
+    "sg.edges",         "sched.tasks_submitted", "sched.tasks_executed",
+    "sched.tasks_stolen", "sched.steal_failures", "sched.worker_busy_ns",
 };
 constexpr const char* kBuiltinGauges[] = {
-    "unfold.pe_queue_peak", "unfold.co_pairs", "sg.hash_load_permille"};
+    "unfold.pe_queue_peak", "unfold.co_pairs", "sg.hash_load_permille",
+    "sched.workers"};
 constexpr const char* kBuiltinHistograms[] = {"unfold.pe_queue_depth"};
 }  // namespace
 

@@ -18,19 +18,39 @@
 
 namespace stgcc::obs {
 
-/// Monotonically increasing event count.
+namespace detail {
+/// Number of per-thread shards a Counter spreads its writes over.
+inline constexpr unsigned kCounterShards = 16;
+/// Stable per-thread shard slot (dense thread enumeration mod kCounterShards).
+[[nodiscard]] unsigned counter_shard() noexcept;
+}  // namespace detail
+
+/// Monotonically increasing event count, sharded per thread: concurrent
+/// writers from the parallel runtime (src/sched/) land on different cache
+/// lines instead of serializing on a single atomic.  `value()` sums the
+/// shards -- reads are racy-by-design snapshots, exact once writers are
+/// quiescent (which is when reports are taken).
 class Counter {
 public:
     void add(std::uint64_t n = 1) noexcept {
-        v_.fetch_add(n, std::memory_order_relaxed);
+        shards_[detail::counter_shard()].v.fetch_add(n,
+                                                     std::memory_order_relaxed);
     }
     [[nodiscard]] std::uint64_t value() const noexcept {
-        return v_.load(std::memory_order_relaxed);
+        std::uint64_t total = 0;
+        for (const Shard& s : shards_)
+            total += s.v.load(std::memory_order_relaxed);
+        return total;
     }
-    void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+    void reset() noexcept {
+        for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+    }
 
 private:
-    std::atomic<std::uint64_t> v_{0};
+    struct alignas(64) Shard {
+        std::atomic<std::uint64_t> v{0};
+    };
+    Shard shards_[detail::kCounterShards];
 };
 
 /// Last-write-wins instantaneous value, plus a running-maximum helper.

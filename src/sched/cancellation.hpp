@@ -1,0 +1,64 @@
+// stgcc -- cooperative cancellation for the parallel execution runtime.
+//
+// A CancellationSource owns a shared flag; CancellationTokens are cheap
+// copyable handles that long-running tasks poll.  Cancellation is purely
+// cooperative: setting the flag never interrupts anything, it only makes
+// subsequent `cancelled()` polls return true.  A default-constructed token
+// is "empty" and can never be cancelled, so APIs can take a token
+// unconditionally and callers that do not need early stop pass `{}`.
+//
+// The release/acquire pair on the flag makes everything written by the
+// cancelling thread before `cancel()` visible to a task that observes the
+// cancellation -- tasks may safely read the "winning" result that caused
+// their cancellation.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace stgcc::sched {
+
+class CancellationSource;
+
+/// Polling handle.  Copyable, cheap (one shared_ptr); empty by default.
+class CancellationToken {
+public:
+    CancellationToken() = default;
+
+    /// True when the token is connected to a source (empty tokens are not).
+    [[nodiscard]] bool cancellable() const noexcept { return flag_ != nullptr; }
+
+    /// True once the connected source was cancelled; empty tokens never are.
+    [[nodiscard]] bool cancelled() const noexcept {
+        return flag_ && flag_->load(std::memory_order_acquire);
+    }
+
+private:
+    friend class CancellationSource;
+    explicit CancellationToken(std::shared_ptr<const std::atomic<bool>> flag)
+        : flag_(std::move(flag)) {}
+
+    std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// Owner side.  Copies share the same flag (copying a source does not fork
+/// a new cancellation scope).
+class CancellationSource {
+public:
+    CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+    void cancel() noexcept { flag_->store(true, std::memory_order_release); }
+
+    [[nodiscard]] bool cancelled() const noexcept {
+        return flag_->load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] CancellationToken token() const {
+        return CancellationToken(flag_);
+    }
+
+private:
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace stgcc::sched

@@ -1,0 +1,48 @@
+#include "sched/parallel.hpp"
+
+#include <thread>
+
+namespace stgcc::sched {
+
+Executor::Executor(unsigned jobs) {
+    jobs_ = jobs == 0 ? hardware_jobs() : jobs;
+    if (jobs_ > 1) pool_ = std::make_unique<WorkStealingPool>(jobs_);
+}
+
+Executor::~Executor() = default;
+
+unsigned Executor::hardware_jobs() noexcept {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(Executor& ex, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (!ex.parallel() || n == 1) {
+        // Serial: a throw at index i surfaces the lowest failing index,
+        // matching the parallel path's rethrow rule.
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+    std::vector<std::exception_ptr> errors(n);
+    TaskGroup group(ex.pool());
+    for (std::size_t i = 0; i < n; ++i) {
+        group.run([&fn, &errors, i] {
+            try {
+                fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
+    }
+    group.wait();
+    for (auto& e : errors)
+        if (e) std::rethrow_exception(e);
+}
+
+void parallel_invoke(Executor& ex, std::vector<std::function<void()>> fns) {
+    parallel_for(ex, fns.size(), [&](std::size_t i) { fns[i](); });
+}
+
+}  // namespace stgcc::sched

@@ -1,0 +1,225 @@
+#include "sched/thread_pool.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/stopwatch.hpp"
+
+namespace stgcc::sched {
+
+namespace {
+
+// Identity of the calling thread within its pool; kNotWorker for threads
+// that are not pool workers (the main thread, other pools' workers).
+constexpr unsigned kNotWorker = 0xffffffffu;
+thread_local WorkStealingPool* t_pool = nullptr;
+thread_local unsigned t_worker_index = kNotWorker;
+
+// Parked workers and helping threads re-check their predicate at least this
+// often even without a notification (belt and braces against lost wakeups).
+constexpr auto kParkTimeout = std::chrono::milliseconds(50);
+
+obs::Counter& c_executed() {
+    static obs::Counter& c = obs::counter("sched.tasks_executed");
+    return c;
+}
+obs::Counter& c_stolen() {
+    static obs::Counter& c = obs::counter("sched.tasks_stolen");
+    return c;
+}
+obs::Counter& c_steal_failures() {
+    static obs::Counter& c = obs::counter("sched.steal_failures");
+    return c;
+}
+obs::Counter& c_submitted() {
+    static obs::Counter& c = obs::counter("sched.tasks_submitted");
+    return c;
+}
+obs::Counter& c_busy_ns() {
+    static obs::Counter& c = obs::counter("sched.worker_busy_ns");
+    return c;
+}
+
+}  // namespace
+
+WorkStealingPool::WorkStealingPool(unsigned workers) {
+    if (workers == 0) workers = 1;
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    // Threads start only after the worker vector is fully built (workers
+    // scan each other's deques).
+    for (unsigned i = 0; i < workers; ++i)
+        workers_[i]->thread = std::thread([this, i] { worker_main(i); });
+    if (obs::enabled())
+        obs::gauge("sched.workers").record_max(static_cast<std::int64_t>(workers));
+}
+
+WorkStealingPool::~WorkStealingPool() {
+    stop_.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(cv_mu_);
+    }
+    cv_.notify_all();
+    for (auto& w : workers_)
+        if (w->thread.joinable()) w->thread.join();
+}
+
+WorkStealingPool* WorkStealingPool::current() noexcept { return t_pool; }
+
+void WorkStealingPool::submit(Task task) {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) c_submitted().add();
+    if (t_pool == this && t_worker_index != kNotWorker) {
+        workers_[t_worker_index]->deque.push_bottom(std::move(task));
+    } else {
+        injector_.push_bottom(std::move(task));
+    }
+    queued_.fetch_add(1, std::memory_order_release);
+    notify_one_locked();
+}
+
+void WorkStealingPool::wake_all() {
+    {
+        std::lock_guard<std::mutex> lock(cv_mu_);
+    }
+    cv_.notify_all();
+}
+
+void WorkStealingPool::notify_one_locked() {
+    // Taking and dropping the lock pairs with the predicate re-check in
+    // cv_.wait_for; without it a worker could check queued_ == 0 and park
+    // just as the increment lands, missing the notification.
+    {
+        std::lock_guard<std::mutex> lock(cv_mu_);
+    }
+    cv_.notify_one();
+}
+
+bool WorkStealingPool::try_get(Task& out, unsigned self_index) {
+    const bool is_worker = self_index != kNotWorker;
+    if (is_worker && workers_[self_index]->deque.pop_bottom(out)) {
+        queued_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+    }
+    if (injector_.steal_top(out)) {
+        queued_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+    }
+    const unsigned n = num_workers();
+    const unsigned start = is_worker ? self_index + 1 : 0;
+    for (unsigned off = 0; off < n; ++off) {
+        const unsigned victim = (start + off) % n;
+        if (is_worker && victim == self_index) continue;
+        if (workers_[victim]->deque.steal_top(out)) {
+            queued_.fetch_sub(1, std::memory_order_relaxed);
+            if (is_worker)
+                workers_[self_index]->stolen.fetch_add(1,
+                                                       std::memory_order_relaxed);
+            else
+                external_stolen_.fetch_add(1, std::memory_order_relaxed);
+            if (obs::enabled()) c_stolen().add();
+            return true;
+        }
+    }
+    if (is_worker) {
+        workers_[self_index]->steal_failures.fetch_add(1,
+                                                       std::memory_order_relaxed);
+        if (obs::enabled()) c_steal_failures().add();
+    }
+    return false;
+}
+
+void WorkStealingPool::execute(Task& task, unsigned self_index) {
+    Stopwatch watch;
+    task();
+    task = nullptr;  // release captures before accounting
+    const std::uint64_t ns = watch.nanos();
+    if (self_index != kNotWorker) {
+        workers_[self_index]->executed.fetch_add(1, std::memory_order_relaxed);
+        workers_[self_index]->busy_ns.fetch_add(ns, std::memory_order_relaxed);
+    } else {
+        external_executed_.fetch_add(1, std::memory_order_relaxed);
+        external_busy_ns_.fetch_add(ns, std::memory_order_relaxed);
+    }
+    if (obs::enabled()) {
+        c_executed().add();
+        c_busy_ns().add(ns);
+    }
+}
+
+void WorkStealingPool::worker_main(unsigned index) {
+    t_pool = this;
+    t_worker_index = index;
+    Task task;
+    for (;;) {
+        if (try_get(task, index)) {
+            execute(task, index);
+            continue;
+        }
+        if (stop_.load(std::memory_order_acquire)) break;
+        std::unique_lock<std::mutex> lock(cv_mu_);
+        cv_.wait_for(lock, kParkTimeout, [&] {
+            return stop_.load(std::memory_order_acquire) ||
+                   queued_.load(std::memory_order_acquire) > 0;
+        });
+    }
+    t_pool = nullptr;
+    t_worker_index = kNotWorker;
+}
+
+void WorkStealingPool::help_until(const std::function<bool()>& done) {
+    const unsigned self = t_pool == this ? t_worker_index : kNotWorker;
+    Task task;
+    while (!done()) {
+        if (try_get(task, self)) {
+            execute(task, self);
+            continue;
+        }
+        // Nothing stealable: the remaining group tasks are running on other
+        // threads.  Park briefly; task completions notify the pool cv.
+        std::unique_lock<std::mutex> lock(cv_mu_);
+        cv_.wait_for(lock, kParkTimeout, [&] {
+            return done() || queued_.load(std::memory_order_acquire) > 0;
+        });
+    }
+}
+
+WorkStealingPool::Stats WorkStealingPool::stats() const {
+    Stats s;
+    for (const auto& w : workers_) {
+        s.executed += w->executed.load(std::memory_order_relaxed);
+        s.stolen += w->stolen.load(std::memory_order_relaxed);
+        s.steal_failures += w->steal_failures.load(std::memory_order_relaxed);
+        s.busy_ns += w->busy_ns.load(std::memory_order_relaxed);
+    }
+    s.executed += external_executed_.load(std::memory_order_relaxed);
+    s.stolen += external_stolen_.load(std::memory_order_relaxed);
+    s.busy_ns += external_busy_ns_.load(std::memory_order_relaxed);
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void TaskGroup::run(Task fn) {
+    if (!pool_) {
+        fn();
+        return;
+    }
+    pending_->fetch_add(1, std::memory_order_release);
+    // The wrapper keeps the counter alive: a group whose wait() already
+    // returned can be destroyed while the last wrapper is still unwinding.
+    pool_->submit([fn = std::move(fn), pending = pending_, pool = pool_] {
+        fn();
+        if (pending->fetch_sub(1, std::memory_order_acq_rel) == 1)
+            pool->wake_all();  // helpers parked on this group re-check
+    });
+}
+
+void TaskGroup::wait() {
+    if (!pool_) return;
+    pool_->help_until(
+        [this] { return pending_->load(std::memory_order_acquire) == 0; });
+}
+
+}  // namespace stgcc::sched

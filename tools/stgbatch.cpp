@@ -1,0 +1,299 @@
+// stgbatch: corpus driver -- verify a whole directory (or manifest) of
+// ASTG (.g) models concurrently on the src/sched/ work-stealing pool.
+//
+// The manifest is either a directory (every *.g file, sorted by name) or a
+// text file with one model path per line (relative paths resolve against
+// the manifest's directory; '#' starts a comment).  Models are verified
+// model-parallel: each model runs a full serial verify_stg pipeline, and
+// the pool spreads models over workers.  One result line is streamed per
+// model as it finishes; the aggregate JSON report (--json) lists models in
+// manifest order, so verdicts are byte-stable at any --jobs value.
+//
+// Exit codes: 0 = every model satisfies all checked properties,
+//             1 = at least one conflict / violation found,
+//             2 = usage or IO error (including any model failing to load).
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/verifier.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "sched/parallel.hpp"
+#include "stg/astg.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace stgcc;
+namespace fs = std::filesystem;
+
+void print_usage(std::ostream& out) {
+    out << "usage: stgbatch <dir | manifest.txt> [options]\n"
+           "\n"
+           "manifest: a directory (all *.g files, sorted) or a text file\n"
+           "with one .g path per line ('#' comments; relative paths are\n"
+           "resolved against the manifest's directory)\n"
+           "\n"
+           "options:\n"
+           "  --jobs N       worker threads (default: hardware concurrency;\n"
+           "                 1 = serial; verdicts are identical at any N)\n"
+           "  --no-normalcy  skip the normalcy check\n"
+           "  --contract     securely contract dummy transitions first\n"
+           "  --deadlock     also run the deadlock check\n"
+           "  --quiet        suppress per-model result lines\n"
+           "  --json FILE    write the aggregate machine-readable report\n"
+           "  --trace FILE   write a Chrome trace-event JSON\n"
+           "\n"
+           "exit codes: 0 = all properties hold on every model,\n"
+           "            1 = conflict found, 2 = usage/IO error\n";
+}
+
+/// Everything recorded about one model, merged in manifest order.
+struct ModelResult {
+    std::string name;          ///< model name from the .g (or file stem)
+    std::string file;          ///< path as listed in the manifest
+    bool loaded = false;
+    std::string error;         ///< load/verify failure, when !loaded
+    core::VerificationReport report;
+    double seconds = 0.0;
+    [[nodiscard]] bool all_hold() const {
+        return loaded && report.consistent && report.usc.holds &&
+               report.csc.holds &&
+               (!report.normalcy_checked || report.normalcy.normal) &&
+               (!report.deadlock_checked || report.deadlock_free);
+    }
+};
+
+std::vector<std::string> collect_manifest(const std::string& arg,
+                                          std::string& error) {
+    std::vector<std::string> files;
+    fs::path p(arg);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+        for (const auto& entry : fs::directory_iterator(p, ec)) {
+            if (entry.is_regular_file() && entry.path().extension() == ".g")
+                files.push_back(entry.path().string());
+        }
+        std::sort(files.begin(), files.end());
+        if (files.empty()) error = "no .g files in directory: " + arg;
+        return files;
+    }
+    std::ifstream in(p);
+    if (!in) {
+        error = "cannot open manifest: " + arg;
+        return files;
+    }
+    const fs::path base = p.has_parent_path() ? p.parent_path() : fs::path(".");
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        const auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos) continue;
+        const auto last = line.find_last_not_of(" \t\r");
+        fs::path entry(line.substr(first, last - first + 1));
+        if (entry.is_relative()) entry = base / entry;
+        files.push_back(entry.string());
+    }
+    if (files.empty()) error = "empty manifest: " + arg;
+    return files;
+}
+
+std::string verdict_line(const ModelResult& r) {
+    if (!r.loaded) return "ERROR (" + r.error + ")";
+    if (!r.report.consistent)
+        return "inconsistent (" + r.report.inconsistency_reason + ")";
+    std::string out;
+    out += r.report.usc.holds ? "USC:ok" : "USC:VIOLATED";
+    out += r.report.csc.holds ? " CSC:ok" : " CSC:VIOLATED";
+    if (r.report.normalcy_checked)
+        out += r.report.normalcy.normal ? " normalcy:ok" : " normalcy:VIOLATED";
+    if (r.report.deadlock_checked)
+        out += r.report.deadlock_free ? " deadlock:none" : " deadlock:REACHABLE";
+    return out;
+}
+
+obs::Json model_json(const ModelResult& r) {
+    obs::Json row = obs::Json::object();
+    row.set("file", r.file);
+    if (!r.loaded) {
+        row.set("status", "error").set("error", r.error);
+        return row;
+    }
+    row.set("name", r.name);
+    row.set("status", r.all_hold() ? "ok" : "violated");
+    row.set("seconds", r.seconds);
+    obs::Json verdicts = obs::Json::object();
+    verdicts.set("consistent", r.report.consistent);
+    if (r.report.consistent) {
+        verdicts.set("usc", r.report.usc.holds);
+        verdicts.set("csc", r.report.csc.holds);
+        if (r.report.normalcy_checked)
+            verdicts.set("normalcy", r.report.normalcy.normal);
+        if (r.report.deadlock_checked)
+            verdicts.set("deadlock_free", r.report.deadlock_free);
+    }
+    row.set("verdicts", std::move(verdicts));
+    row.set("prefix", obs::Json::object()
+                          .set("conditions", r.report.prefix.conditions)
+                          .set("events", r.report.prefix.events)
+                          .set("cutoffs", r.report.prefix.cutoffs));
+    return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        print_usage(std::cerr);
+        return 2;
+    }
+    const char* manifest = nullptr;
+    const char* json_path = nullptr;
+    const char* trace_path = nullptr;
+    bool normalcy = true;
+    bool contract = false;
+    bool deadlock = false;
+    bool quiet = false;
+    unsigned jobs = 0;  // 0 = hardware concurrency
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--no-normalcy"))
+            normalcy = false;
+        else if (!std::strcmp(argv[i], "--contract"))
+            contract = true;
+        else if (!std::strcmp(argv[i], "--deadlock"))
+            deadlock = true;
+        else if (!std::strcmp(argv[i], "--quiet"))
+            quiet = true;
+        else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+            print_usage(std::cout);
+            return 0;
+        } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+            char* end = nullptr;
+            const unsigned long v = std::strtoul(argv[++i], &end, 10);
+            if (!end || *end != '\0') {
+                std::cerr << "bad --jobs value: " << argv[i] << "\n";
+                return 2;
+            }
+            jobs = static_cast<unsigned>(v);
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            json_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
+            trace_path = argv[++i];
+        else if (argv[i][0] != '-')
+            manifest = argv[i];
+        else {
+            std::cerr << "unknown option: " << argv[i] << "\n";
+            print_usage(std::cerr);
+            return 2;
+        }
+    }
+    if (!manifest) {
+        std::cerr << "no manifest\n";
+        return 2;
+    }
+    if (json_path || trace_path) obs::set_enabled(true);
+
+    std::string manifest_error;
+    const std::vector<std::string> files =
+        collect_manifest(manifest, manifest_error);
+    if (files.empty()) {
+        std::cerr << "error: " << manifest_error << "\n";
+        return 2;
+    }
+
+    core::VerifyOptions vopts;
+    vopts.check_normalcy = normalcy;
+    vopts.contract_dummies = contract;
+    vopts.check_deadlock = deadlock;
+
+    sched::Executor ex(jobs);
+    if (!quiet)
+        std::cout << "stgbatch: " << files.size() << " models, jobs="
+                  << ex.jobs() << "\n";
+
+    Stopwatch total_timer;
+    std::mutex out_mu;
+    std::size_t done = 0;
+    std::vector<ModelResult> results(files.size());
+    // Results land in `results` by manifest index (deterministic); only the
+    // streamed progress lines appear in completion order.  Model tasks and
+    // each model's inner instances (per-signal CSC, normalcy orientations)
+    // share the one pool: small models fill workers the big models' fanout
+    // leaves idle, and the corpus isn't serialized on its largest model.
+    sched::parallel_for(ex, files.size(), [&](std::size_t i) {
+        ModelResult& r = results[i];
+        r.file = files[i];
+        Stopwatch timer;
+        try {
+            stg::Stg model = stg::load_astg_file(files[i]);
+            r.name = model.name();
+            r.report = core::verify_stg(model, vopts, ex);
+            r.loaded = true;
+        } catch (const std::exception& e) {
+            r.error = e.what();
+        }
+        r.seconds = timer.seconds();
+        std::lock_guard<std::mutex> lock(out_mu);
+        ++done;
+        if (!quiet) {
+            std::cout << "[" << done << "/" << files.size() << "] "
+                      << fs::path(files[i]).filename().string() << "  "
+                      << verdict_line(r) << "  (" << r.seconds << " s)\n";
+        }
+    });
+    const double total_seconds = total_timer.seconds();
+
+    std::size_t ok = 0, violated = 0, errors = 0;
+    for (const ModelResult& r : results) {
+        if (!r.loaded)
+            ++errors;
+        else if (r.all_hold())
+            ++ok;
+        else
+            ++violated;
+    }
+    std::cout << "stgbatch: " << ok << " ok, " << violated << " violated, "
+              << errors << " errors in " << total_seconds << " s (jobs="
+              << ex.jobs() << ")\n";
+
+    if (json_path) {
+        obs::Json rows = obs::Json::array();
+        for (const ModelResult& r : results) rows.push(model_json(r));
+        obs::Json body = obs::Json::object();
+        body.set("manifest", manifest);
+        body.set("jobs", ex.jobs());
+        body.set("models", std::move(rows));
+        body.set("summary", obs::Json::object()
+                                .set("total", results.size())
+                                .set("ok", ok)
+                                .set("violated", violated)
+                                .set("errors", errors)
+                                .set("seconds", total_seconds));
+        body.set("metrics", obs::Registry::instance().to_json());
+        if (!obs::save_json(json_path,
+                            obs::make_report("stgbatch", std::move(body)))) {
+            std::cerr << "error: cannot write " << json_path << "\n";
+            return 2;
+        }
+        if (!quiet) std::cout << "report written to " << json_path << "\n";
+    }
+    if (trace_path) {
+        if (!obs::write_chrome_trace(trace_path)) {
+            std::cerr << "error: cannot write " << trace_path << "\n";
+            return 2;
+        }
+        if (!quiet) std::cout << "trace written to " << trace_path << "\n";
+    }
+
+    if (errors > 0) return 2;
+    return violated > 0 ? 1 : 0;
+}
