@@ -11,6 +11,12 @@
 // chrome://tracing or https://ui.perfetto.dev), --metrics prints the metrics
 // registry, --json writes a machine-readable verification report.
 //
+// Caching (docs/CACHING.md): when a cache directory is configured
+// (--cache-dir or $STGCC_CACHE_DIR), finished verdicts are stored on disk
+// keyed by the model file's content hash and the checker options; a warm
+// run replays the stored report without re-verifying.  --no-cache disables
+// both the result cache and the in-process learned-clause sharing.
+//
 // Exit codes: 0 = all checked properties hold, 1 = a conflict / violation
 // was found, 2 = usage or IO error, 3 = internal error (baselines disagree).
 #include <cstdlib>
@@ -18,6 +24,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "cache/result_cache.hpp"
 #include "core/conflict_cores.hpp"
 #include "core/verifier.hpp"
 #include "obs/metrics.hpp"
@@ -27,7 +34,6 @@
 #include "stg/logic.hpp"
 #include "stg/state_checks.hpp"
 #include "stg/state_graph.hpp"
-#include "unfolding/unfolder.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -62,6 +68,13 @@ void print_usage(std::ostream& out) {
            "  --json FILE         write a machine-readable verification "
            "report\n"
            "\n"
+           "caching (docs/CACHING.md):\n"
+           "  --cache-dir DIR     on-disk result cache (default: "
+           "$STGCC_CACHE_DIR;\n"
+           "                      unset = no result cache)\n"
+           "  --no-cache          disable the result cache and learned-clause "
+           "sharing\n"
+           "\n"
            "exit codes: 0 = all properties hold, 1 = conflict found,\n"
            "            2 = usage/IO error, 3 = internal error\n";
 }
@@ -86,6 +99,8 @@ int main(int argc, char** argv) {
     bool cores = false;
     bool persistency = false;
     bool metrics = false;
+    bool use_cache = true;
+    const char* cache_dir_flag = nullptr;
     unsigned jobs = 0;  // 0 = hardware concurrency
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--no-normalcy"))
@@ -115,7 +130,11 @@ int main(int argc, char** argv) {
                 return 2;
             }
             jobs = static_cast<unsigned>(v);
-        } else if (!std::strcmp(argv[i], "--dot") && i + 1 < argc)
+        } else if (!std::strcmp(argv[i], "--no-cache"))
+            use_cache = false;
+        else if (!std::strcmp(argv[i], "--cache-dir") && i + 1 < argc)
+            cache_dir_flag = argv[++i];
+        else if (!std::strcmp(argv[i], "--dot") && i + 1 < argc)
             dot_path = argv[++i];
         else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
             trace_path = argv[++i];
@@ -138,9 +157,51 @@ int main(int argc, char** argv) {
     // run pays only the disabled-flag branch on the hot paths.
     if (trace_path || json_path || metrics) obs::set_enabled(true);
 
+    // Tier-3 result cache: only for runs whose entire stdout can be
+    // replayed from the stored verdict (no extras that need the prefix or
+    // live instrumentation).  --jobs is deliberately absent from the key:
+    // verdicts and witnesses are identical at any jobs value.
+    std::string cache_root;
+    if (use_cache) {
+        if (cache_dir_flag)
+            cache_root = cache_dir_flag;
+        else if (const char* env = std::getenv("STGCC_CACHE_DIR"))
+            cache_root = env;
+    }
+    const cache::ResultCache rcache(cache_root);
+    const bool cacheable = rcache.enabled() && !json_path && !trace_path &&
+                           !metrics && !synthesize && !cores && !dot_path &&
+                           !state_based;
+    const std::string options_sig =
+        std::string("stgcheck/1;normalcy=") + (normalcy ? "1" : "0") +
+        ";contract=" + (contract ? "1" : "0") + ";deadlock=" +
+        (deadlock ? "1" : "0") + ";persistency=" + (persistency ? "1" : "0");
+
     try {
         obs::Span root("stgcheck");
         root.attr("file", path);
+
+        std::uint64_t content_hash = 0;
+        bool hashed = false;
+        if (cacheable) {
+            Stopwatch probe_timer;
+            if (const auto bytes = cache::read_file_bytes(path)) {
+                content_hash = cache::fnv1a64(*bytes);
+                hashed = true;
+                if (const auto hit =
+                        rcache.load("stgcheck", content_hash, options_sig)) {
+                    const obs::Json* text = hit->find("report");
+                    const obs::Json* exit_code = hit->find("exit");
+                    if (text && exit_code) {
+                        std::cout << text->as_string() << "unfolding+IP time: "
+                                  << probe_timer.seconds() << " s\n";
+                        if (const obs::Json* dl = hit->find("deadlock_via"))
+                            std::cout << dl->as_string() << "\n";
+                        return static_cast<int>(exit_code->as_int());
+                    }
+                }
+            }
+        }
 
         obs::Span parse_span("parse");
         stg::Stg model = stg::load_astg_file(path);
@@ -152,15 +213,20 @@ int main(int argc, char** argv) {
         opts.contract_dummies = contract;
         opts.check_deadlock = deadlock;
         opts.check_persistency = persistency;
+        opts.search.use_learned_clauses = use_cache;
         Stopwatch timer;
         auto report = core::verify_stg(model, opts);
-        std::cout << core::format_report(model, report)
-                  << "unfolding+IP time: " << timer.seconds() << " s\n";
+        const std::string report_text = core::format_report(model, report);
+        std::cout << report_text << "unfolding+IP time: " << timer.seconds()
+                  << " s\n";
         const stg::Stg& checked =
             report.contracted_stg ? *report.contracted_stg : model;
-        if (report.deadlock_checked && !report.deadlock_free)
-            std::cout << "deadlock via: "
-                      << checked.sequence_text(report.deadlock_trace) << "\n";
+        std::string deadlock_via;
+        if (report.deadlock_checked && !report.deadlock_free) {
+            deadlock_via =
+                "deadlock via: " + checked.sequence_text(report.deadlock_trace);
+            std::cout << deadlock_via << "\n";
+        }
 
         if (synthesize && report.consistent && report.csc.holds) {
             stg::StateGraph sg(checked);
@@ -174,15 +240,16 @@ int main(int argc, char** argv) {
         }
 
         if (cores && report.consistent && !report.usc.holds) {
-            core::UnfoldingChecker checker(checked);
-            auto cr = core::collect_conflict_cores(checker.problem());
-            std::cout << core::format_height_map(checker.problem(), cr);
+            // Reuse the verification run's artifact bundle (tier-1 cache)
+            // instead of re-unfolding the model.
+            const core::CodingProblem& problem = report.artifacts->problem();
+            auto cr = core::collect_conflict_cores(problem);
+            std::cout << core::format_height_map(problem, cr);
         }
 
         if (dot_path) {
-            auto prefix = unf::unfold(checked.system());
             std::ofstream out(dot_path);
-            out << prefix.to_dot();
+            out << report.artifacts->prefix().to_dot();
             if (!out) {
                 std::cerr << "error: cannot write " << dot_path << "\n";
                 return 2;
@@ -232,13 +299,24 @@ int main(int argc, char** argv) {
                       << obs::Registry::instance().text_summary();
         }
 
-        if (!report.consistent) return 1;
-        const bool all_hold =
-            report.usc.holds && report.csc.holds &&
-            (!normalcy || report.normalcy.normal) &&
-            (!report.deadlock_checked || report.deadlock_free) &&
-            (!report.persistency_checked || report.persistent);
-        return all_hold ? 0 : 1;
+        int exit_code = 1;
+        if (report.consistent) {
+            const bool all_hold =
+                report.usc.holds && report.csc.holds &&
+                (!normalcy || report.normalcy.normal) &&
+                (!report.deadlock_checked || report.deadlock_free) &&
+                (!report.persistency_checked || report.persistent);
+            exit_code = all_hold ? 0 : 1;
+        }
+        if (cacheable && hashed) {
+            obs::Json value = obs::Json::object()
+                                  .set("report", report_text)
+                                  .set("exit", exit_code);
+            if (!deadlock_via.empty()) value.set("deadlock_via", deadlock_via);
+            rcache.store("stgcheck", content_hash, options_sig,
+                         std::move(value));
+        }
+        return exit_code;
     } catch (const std::exception& ex) {
         std::cerr << "error: " << ex.what() << "\n";
         return 2;

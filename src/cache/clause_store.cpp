@@ -1,0 +1,52 @@
+#include "cache/clause_store.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace stgcc::cache {
+
+ClauseStore::ClauseStore(std::size_t num_vars) : num_vars_(num_vars) {
+    for (BitVec& v : cuts_) v.resize(num_vars_);
+}
+
+void ClauseStore::record_cut(int relation, bool conflict_free_mode,
+                             std::size_t d) {
+    STGCC_REQUIRE(d < num_vars_);
+    std::lock_guard<std::mutex> lock(mu_);
+    cuts_[slot(relation, conflict_free_mode)].set(d);
+    if (obs::enabled()) obs::counter("cache.clauses.recorded").add();
+}
+
+BitVec ClauseStore::cuts_for(int relation, bool conflict_free_mode) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Exact key, the unrestricted variant of the same relation, and -- for
+    // Equal -- both one-sided relations, whose feasible sets are supersets.
+    BitVec out = cuts_[slot(relation, conflict_free_mode)];
+    if (conflict_free_mode) out |= cuts_[slot(relation, false)];
+    if (relation == kEqual) {
+        for (const int r : {kLessEq, kGreaterEq}) {
+            out |= cuts_[slot(r, false)];
+            if (conflict_free_mode) out |= cuts_[slot(r, true)];
+        }
+    }
+    return out;
+}
+
+void ClauseStore::record_usc_holds() {
+    std::lock_guard<std::mutex> lock(mu_);
+    usc_holds_ = true;
+}
+
+bool ClauseStore::usc_holds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return usc_holds_;
+}
+
+std::size_t ClauseStore::num_cuts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const BitVec& v : cuts_) n += v.count();
+    return n;
+}
+
+}  // namespace stgcc::cache

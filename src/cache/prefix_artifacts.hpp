@@ -1,0 +1,108 @@
+// stgcc -- tier-1 cache: per-prefix shared artifacts (docs/CACHING.md).
+//
+// Everything the USC / CSC / normalcy checkers derive from one unfolding
+// prefix is computed exactly once here and then shared read-only by every
+// solver instance of the model:
+//   * the co-relation rows of the prefix (events concurrent with e), used
+//     by the consistency analysis instead of O(k^2) pairwise queries,
+//   * the consistency analysis itself (and the derived initial code v0),
+//     which verify_stg and the CodingProblem used to compute separately,
+//   * the dense CodingProblem with its per-signal solver template,
+//   * per-dense-event condition pre/post masks plus the Min(ON) mask, which
+//     turn the leaf-predicate marking computation (cut of a configuration)
+//     into three word-parallel bit operations instead of a vector<bool>
+//     sweep over all conditions,
+//   * the tier-2 learned-clause store shared by sibling solver instances.
+//
+// The object is immutable after construction (the clause store is
+// internally locked), so a PrefixArtifactsPtr may be shared across any
+// number of worker threads; UnfoldingChecker and verify_stg read through
+// it, and callers such as `stgcheck --cores` / `--dot` reuse the prefix
+// instead of re-unfolding.
+//
+// Inconsistent STGs construct fine -- consistency() carries the diagnosis
+// and problem() throws the same ModelError the CodingProblem constructor
+// used to raise, so checker construction keeps its historical behaviour.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/clause_store.hpp"
+#include "core/coding_problem.hpp"
+#include "unfolding/prefix_checks.hpp"
+#include "unfolding/unfolder.hpp"
+
+namespace stgcc::cache {
+
+class PrefixArtifacts {
+public:
+    /// Unfold `stg` and derive all artifacts.  Throws ModelError for
+    /// dummy-carrying STGs and for STGs whose unfolding exceeds the limits.
+    /// `stg` must outlive the artifacts.
+    explicit PrefixArtifacts(const stg::Stg& stg, unf::UnfoldOptions opts = {});
+
+    /// Adopt an already built complete prefix of `stg`.
+    PrefixArtifacts(const stg::Stg& stg, unf::Prefix prefix);
+
+    /// Owning variant: keeps `stg` alive alongside the artifacts (used by
+    /// verify_stg for contracted STGs, whose report outlives the local).
+    PrefixArtifacts(std::shared_ptr<const stg::Stg> stg,
+                    unf::UnfoldOptions opts = {});
+
+    [[nodiscard]] const stg::Stg& stg() const noexcept { return *stg_; }
+    [[nodiscard]] const unf::Prefix& prefix() const noexcept { return prefix_; }
+
+    /// The consistency analysis, computed exactly once per prefix.
+    [[nodiscard]] const unf::PrefixConsistency& consistency() const noexcept {
+        return consistency_;
+    }
+    [[nodiscard]] bool consistent() const noexcept {
+        return consistency_.consistent;
+    }
+
+    /// The shared coding problem.  Throws ModelError (message identical to
+    /// the historical CodingProblem diagnosis) when the STG is inconsistent.
+    [[nodiscard]] const core::CodingProblem& problem() const;
+
+    /// Events concurrent with `e`, as a bit row over event ids (width of
+    /// Prefix::make_event_set()).
+    [[nodiscard]] const BitVec& co_row(unf::EventId e) const {
+        STGCC_REQUIRE(e < co_rows_.size());
+        return co_rows_[e];
+    }
+
+    /// Marking reached by a dense configuration of the coding problem:
+    /// cut = (Min(ON) | union of postsets) \ union of presets, evaluated
+    /// with the precomputed condition masks.  Agrees bit-for-bit with
+    /// unf::marking_of(prefix, problem().to_event_set(dense)).
+    /// Only valid when consistent().
+    [[nodiscard]] petri::Marking marking_of_dense(const BitVec& dense) const;
+
+    /// Tier-2 learned-clause store shared by all solver instances over this
+    /// problem.  Mutable through const artifacts: recording a proved cut
+    /// does not change any observable verdict (see clause_store.hpp).
+    /// Only valid when consistent().
+    [[nodiscard]] ClauseStore& clauses() const {
+        STGCC_ASSERT(clauses_ != nullptr);
+        return *clauses_;
+    }
+
+private:
+    void build();
+
+    std::shared_ptr<const stg::Stg> owned_stg_;  ///< may be null (aliasing ctors)
+    const stg::Stg* stg_;
+    unf::Prefix prefix_;
+    std::vector<BitVec> co_rows_;
+    unf::PrefixConsistency consistency_;
+    std::unique_ptr<core::CodingProblem> problem_;  ///< null when inconsistent
+    BitVec min_mask_;                        ///< Min(ON), width num_conditions
+    std::vector<BitVec> pre_masks_, post_masks_;  ///< per dense event
+    mutable std::unique_ptr<ClauseStore> clauses_;
+};
+
+/// Shared read-only handle; every checker over one model holds one of these.
+using PrefixArtifactsPtr = std::shared_ptr<const PrefixArtifacts>;
+
+}  // namespace stgcc::cache

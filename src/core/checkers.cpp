@@ -2,19 +2,29 @@
 
 #include <mutex>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "unfolding/configuration.hpp"
 
 namespace stgcc::core {
 
 UnfoldingChecker::UnfoldingChecker(const stg::Stg& stg, unf::UnfoldOptions opts)
-    : stg_(&stg), prefix_(unf::unfold(stg.system(), opts)) {
-    problem_ = std::make_unique<CodingProblem>(stg, prefix_);
-}
+    : UnfoldingChecker(
+          std::make_shared<const cache::PrefixArtifacts>(stg, opts)) {}
 
 UnfoldingChecker::UnfoldingChecker(const stg::Stg& stg, unf::Prefix prefix)
-    : stg_(&stg), prefix_(std::move(prefix)) {
-    problem_ = std::make_unique<CodingProblem>(stg, prefix_);
+    : UnfoldingChecker(std::make_shared<const cache::PrefixArtifacts>(
+          stg, std::move(prefix))) {}
+
+UnfoldingChecker::UnfoldingChecker(cache::PrefixArtifactsPtr artifacts)
+    : artifacts_(std::move(artifacts)),
+      stg_(&artifacts_->stg()),
+      problem_(&artifacts_->problem()) {}  // throws when inconsistent
+
+SearchOptions UnfoldingChecker::with_clause_store(SearchOptions opts) const {
+    if (opts.use_learned_clauses && opts.clauses == nullptr)
+        opts.clauses = &artifacts_->clauses();
+    return opts;
 }
 
 stg::ConflictWitness UnfoldingChecker::make_witness(const BitVec& ca,
@@ -24,44 +34,56 @@ stg::ConflictWitness UnfoldingChecker::make_witness(const BitVec& ca,
     const BitVec ea = problem_->to_event_set(ca);
     const BitVec eb = problem_->to_event_set(cb);
     w.code = problem_->code_of(ca);
-    w.m1 = unf::marking_of(prefix_, ea);
-    w.m2 = unf::marking_of(prefix_, eb);
+    w.m1 = artifacts_->marking_of_dense(ca);
+    w.m2 = artifacts_->marking_of_dense(cb);
     w.out1 = stg_->out_signals(w.m1);
     w.out2 = stg_->out_signals(w.m2);
-    w.trace1 = unf::firing_sequence_of(prefix_, ea);
-    w.trace2 = unf::firing_sequence_of(prefix_, eb);
+    w.trace1 = unf::firing_sequence_of(prefix(), ea);
+    w.trace2 = unf::firing_sequence_of(prefix(), eb);
     return w;
 }
 
 stg::CodingCheckResult UnfoldingChecker::check_usc(SearchOptions opts) const {
     obs::Span span("solve.usc");
-    CompatSolver solver(*problem_, opts);
+    const SearchOptions local = with_clause_store(opts);
+    CompatSolver solver(*problem_, local);
     auto outcome = solver.solve(
         CodeRelation::Equal, [&](const BitVec& ca, const BitVec& cb) {
             // USC separating predicate: the markings must differ.
-            return !(unf::marking_of(prefix_, problem_->to_event_set(ca)) ==
-                     unf::marking_of(prefix_, problem_->to_event_set(cb)));
+            return !(artifacts_->marking_of_dense(ca) ==
+                     artifacts_->marking_of_dense(cb));
         });
     stg::CodingCheckResult result;
     result.stats = outcome.stats;
     if (outcome.found) {
         result.holds = false;
         result.witness = make_witness(outcome.ca, outcome.cb);
+    } else if (local.clauses && !outcome.cancelled) {
+        // Exhaustive no-conflict proof: every equal-code pair has equal
+        // markings, hence equal enabled-output sets -- CSC holds too.
+        local.clauses->record_usc_holds();
     }
     return result;
 }
 
 stg::CodingCheckResult UnfoldingChecker::check_csc(SearchOptions opts) const {
     obs::Span span("solve.csc");
-    CompatSolver solver(*problem_, opts);
+    const SearchOptions local = with_clause_store(opts);
+    if (local.clauses && local.clauses->usc_holds()) {
+        // Subsumption certificate from an exhaustive USC pass; the verdict
+        // is forced, so skip the search (stats stay zero -- they are
+        // schedule-dependent anyway, see docs/CACHING.md).
+        obs::counter("cache.certificates.csc_from_usc").add();
+        span.attr("certificate", "usc_holds");
+        return {};
+    }
+    CompatSolver solver(*problem_, local);
     auto outcome = solver.solve(
         CodeRelation::Equal, [&](const BitVec& ca, const BitVec& cb) {
             // CSC separating predicate: enabled-output sets must differ
             // (equal codes with different Out sets imply distinct markings).
-            const petri::Marking ma =
-                unf::marking_of(prefix_, problem_->to_event_set(ca));
-            const petri::Marking mb =
-                unf::marking_of(prefix_, problem_->to_event_set(cb));
+            const petri::Marking ma = artifacts_->marking_of_dense(ca);
+            const petri::Marking mb = artifacts_->marking_of_dense(cb);
             return !(stg_->out_signals(ma) == stg_->out_signals(mb));
         });
     stg::CodingCheckResult result;
@@ -77,9 +99,15 @@ stg::CodingCheckResult UnfoldingChecker::check_csc(SearchOptions opts,
                                                    sched::Executor& ex) const {
     obs::Span span("solve.csc");
     span.attr("decomposition", "per_signal");
+    const SearchOptions shared = with_clause_store(opts);
     const std::vector<stg::SignalId> outputs = stg_->circuit_driven_signals();
     stg::CodingCheckResult result;
     if (outputs.empty()) return result;  // no circuit-driven signal: holds
+    if (shared.clauses && shared.clauses->usc_holds()) {
+        obs::counter("cache.certificates.csc_from_usc").add();
+        span.attr("certificate", "usc_holds");
+        return result;
+    }
 
     // Stats are accumulated across all per-signal instances (including
     // cancelled ones), so totals depend on the schedule -- verdicts and
@@ -94,7 +122,7 @@ stg::CodingCheckResult UnfoldingChecker::check_csc(SearchOptions opts,
             const stg::SignalId z = outputs[i];
             obs::Span task_span("solve.csc.signal");
             task_span.attr("signal", stg_->signal_name(z));
-            SearchOptions local = opts;
+            SearchOptions local = shared;
             local.cancel = token;
             CompatSolver solver(*problem_, local);
             auto outcome = solver.solve(
@@ -102,10 +130,8 @@ stg::CodingCheckResult UnfoldingChecker::check_csc(SearchOptions opts,
                     // Per-signal CSC predicate: z enabled at exactly one of
                     // the two markings (a CSC conflict exists iff some
                     // circuit-driven signal has one).
-                    const petri::Marking ma =
-                        unf::marking_of(prefix_, problem_->to_event_set(ca));
-                    const petri::Marking mb =
-                        unf::marking_of(prefix_, problem_->to_event_set(cb));
+                    const petri::Marking ma = artifacts_->marking_of_dense(ca);
+                    const petri::Marking mb = artifacts_->marking_of_dense(cb);
                     return stg_->signal_enabled(ma, z) !=
                            stg_->signal_enabled(mb, z);
                 });
@@ -145,14 +171,14 @@ UnfoldingChecker::NormalcyPass UnfoldingChecker::run_normalcy_pass(
         w.signal = z;
         const BitVec el = problem_->to_event_set(lo_cfg);
         const BitVec eh = problem_->to_event_set(hi_cfg);
-        w.m1 = unf::marking_of(prefix_, el);
-        w.m2 = unf::marking_of(prefix_, eh);
+        w.m1 = artifacts_->marking_of_dense(lo_cfg);
+        w.m2 = artifacts_->marking_of_dense(hi_cfg);
         w.code1 = problem_->code_of(lo_cfg);
         w.code2 = problem_->code_of(hi_cfg);
         w.nxt1 = stg_->nxt(w.m1, w.code1, z);
         w.nxt2 = stg_->nxt(w.m2, w.code2, z);
-        w.trace1 = unf::firing_sequence_of(prefix_, el);
-        w.trace2 = unf::firing_sequence_of(prefix_, eh);
+        w.trace1 = unf::firing_sequence_of(prefix(), el);
+        w.trace2 = unf::firing_sequence_of(prefix(), eh);
         return w;
     };
 
@@ -160,14 +186,12 @@ UnfoldingChecker::NormalcyPass UnfoldingChecker::run_normalcy_pass(
     // ordered pair is found either with Code(x') <= Code(x'') (lo = x')
     // or with Code(x') >= Code(x'') (lo = x'').  Each flag keeps the
     // *first* violating pair in enumeration order, which is deterministic.
-    CompatSolver solver(*problem_, opts);
+    CompatSolver solver(*problem_, with_clause_store(opts));
     auto outcome = solver.solve(rel, [&](const BitVec& ca, const BitVec& cb) {
         const BitVec& lo_cfg = rel == CodeRelation::LessEq ? ca : cb;
         const BitVec& hi_cfg = rel == CodeRelation::LessEq ? cb : ca;
-        const petri::Marking mlo =
-            unf::marking_of(prefix_, problem_->to_event_set(lo_cfg));
-        const petri::Marking mhi =
-            unf::marking_of(prefix_, problem_->to_event_set(hi_cfg));
+        const petri::Marking mlo = artifacts_->marking_of_dense(lo_cfg);
+        const petri::Marking mhi = artifacts_->marking_of_dense(hi_cfg);
         const stg::Code clo = problem_->code_of(lo_cfg);
         const stg::Code chi = problem_->code_of(hi_cfg);
         for (std::size_t i = 0; i < outputs.size(); ++i) {

@@ -1,13 +1,20 @@
 // stgcc -- high-level USC / CSC / normalcy checkers based on the unfolding
 // prefix and the partial-order integer-programming search (the paper's
-// method).  Construction unfolds the STG (or adopts an existing prefix);
-// each check runs the CompatSolver with the appropriate code relation and
-// separating predicate, and converts a satisfying pair of configurations
-// into a ConflictWitness with execution paths.
+// method).  Construction unfolds the STG (or adopts an existing prefix /
+// shared artifact bundle); each check runs the CompatSolver with the
+// appropriate code relation and separating predicate, and converts a
+// satisfying pair of configurations into a ConflictWitness with execution
+// paths.
+//
+// All derived per-prefix data (consistency, coding problem, condition
+// masks, learned-clause store) lives in a shared cache::PrefixArtifacts;
+// several checkers -- or a checker and a conflict-core / dot consumer --
+// can read one bundle concurrently without recomputing anything.
 #pragma once
 
 #include <memory>
 
+#include "cache/prefix_artifacts.hpp"
 #include "core/coding_problem.hpp"
 #include "core/compat_solver.hpp"
 #include "sched/parallel.hpp"
@@ -25,9 +32,21 @@ public:
     /// Adopt an already built complete prefix of `stg`.
     UnfoldingChecker(const stg::Stg& stg, unf::Prefix prefix);
 
+    /// Adopt a shared artifact bundle (tier-1 cache).  Throws ModelError
+    /// when the bundle's STG is inconsistent (same diagnosis as above).
+    explicit UnfoldingChecker(cache::PrefixArtifactsPtr artifacts);
+
     [[nodiscard]] const stg::Stg& stg() const noexcept { return *stg_; }
-    [[nodiscard]] const unf::Prefix& prefix() const noexcept { return prefix_; }
-    [[nodiscard]] const CodingProblem& problem() const noexcept { return *problem_; }
+    [[nodiscard]] const unf::Prefix& prefix() const noexcept {
+        return artifacts_->prefix();
+    }
+    [[nodiscard]] const CodingProblem& problem() const noexcept {
+        return *problem_;
+    }
+    /// The shared artifact bundle (never null).
+    [[nodiscard]] const cache::PrefixArtifactsPtr& artifacts() const noexcept {
+        return artifacts_;
+    }
 
     /// Initial code v0 derived from the prefix.
     [[nodiscard]] const stg::Code& initial_code() const {
@@ -72,6 +91,10 @@ private:
     [[nodiscard]] stg::ConflictWitness make_witness(const BitVec& ca,
                                                     const BitVec& cb) const;
 
+    /// Wire the shared clause store into the search options unless the
+    /// caller disabled it (`--no-cache`) or supplied a store of their own.
+    [[nodiscard]] SearchOptions with_clause_store(SearchOptions opts) const;
+
     /// One normalcy orientation solved against fresh per-signal state.
     struct NormalcyPass {
         std::vector<stg::SignalNormalcy> per_signal;
@@ -82,9 +105,9 @@ private:
         CodeRelation rel, SearchOptions opts,
         const std::vector<stg::SignalId>& outputs) const;
 
+    cache::PrefixArtifactsPtr artifacts_;
     const stg::Stg* stg_;
-    unf::Prefix prefix_;
-    std::unique_ptr<CodingProblem> problem_;
+    const CodingProblem* problem_;
 };
 
 }  // namespace stgcc::core

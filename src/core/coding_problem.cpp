@@ -8,9 +8,22 @@ using unf::EventId;
 
 CodingProblem::CodingProblem(const stg::Stg& stg, const unf::Prefix& prefix)
     : stg_(&stg), prefix_(&prefix) {
-    obs::Span span("encode");
     stg.require_dummy_free();
     const auto consistency = unf::analyze_consistency(stg, prefix);
+    build(consistency);
+}
+
+CodingProblem::CodingProblem(const stg::Stg& stg, const unf::Prefix& prefix,
+                             const unf::PrefixConsistency& consistency)
+    : stg_(&stg), prefix_(&prefix) {
+    stg.require_dummy_free();
+    build(consistency);
+}
+
+void CodingProblem::build(const unf::PrefixConsistency& consistency) {
+    obs::Span span("encode");
+    const stg::Stg& stg = *stg_;
+    const unf::Prefix& prefix = *prefix_;
     if (!consistency.consistent)
         throw ModelError("STG '" + stg.name() +
                          "' is inconsistent: " + consistency.reason);
@@ -50,6 +63,22 @@ CodingProblem::CodingProblem(const stg::Stg& stg, const unf::Prefix& prefix)
                 confs_[i].set(dense_of[g]);
         });
     }
+
+    // Shared solver template: every event contributes one +coefficient and
+    // one -coefficient variable to its signal (delta on side 0, -delta on
+    // side 1), so pos and neg both count the signal's events.
+    initial_slacks_.assign(stg.num_signals(), SignalSlack{});
+    vars_of_signal_.assign(stg.num_signals(), {});
+    for (std::size_t i = 0; i < q; ++i) {
+        SignalSlack& s = initial_slacks_[signal_[i]];
+        ++s.pos;
+        ++s.neg;
+        for (int side = 0; side < 2; ++side)
+            vars_of_signal_[signal_[i]].push_back(
+                VarRef{static_cast<std::uint8_t>(side),
+                       static_cast<std::uint32_t>(i)});
+    }
+
     span.attr("dense_events", q);
     span.attr("conflict_free", conflict_free_);
 }

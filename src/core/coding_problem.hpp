@@ -18,11 +18,33 @@
 
 namespace stgcc::core {
 
+/// A variable of the pair search: side 0 = x', side 1 = x'', idx = dense
+/// event index.  Shared by the CompatSolver and the precomputed per-signal
+/// variable lists below.
+struct VarRef {
+    std::uint8_t side;
+    std::uint32_t idx;
+};
+
+/// Initial interval slack of one signal's code-difference constraint:
+/// counts of unassigned variables with coefficient +1 / -1.  Computed once
+/// per problem and copied (not rebuilt) by every solver instance.
+struct SignalSlack {
+    int pos = 0;
+    int neg = 0;
+};
+
 class CodingProblem {
 public:
     /// Build from a consistent, dummy-free STG and its complete prefix.
     /// Throws ModelError when the STG is inconsistent.
     CodingProblem(const stg::Stg& stg, const unf::Prefix& prefix);
+
+    /// Same, reusing an already computed consistency analysis (tier-1
+    /// artifact sharing: verify_stg and the PrefixArtifacts cache analyze
+    /// the prefix exactly once).  `consistency.consistent` must be true.
+    CodingProblem(const stg::Stg& stg, const unf::Prefix& prefix,
+                  const unf::PrefixConsistency& consistency);
 
     [[nodiscard]] const stg::Stg& stg() const noexcept { return *stg_; }
     [[nodiscard]] const unf::Prefix& prefix() const noexcept { return *prefix_; }
@@ -63,13 +85,35 @@ public:
     /// Code of the marking reached by a dense configuration: v0 + change vector.
     [[nodiscard]] stg::Code code_of(const BitVec& dense) const;
 
+    // --- shared solver template (tier-1 artifact cache) ---------------------
+    // Every CompatSolver instance over this problem starts from the same
+    // per-signal slack accounting and variable grouping; precomputing them
+    // here turns the per-instance setup (one rebuild per per-signal CSC
+    // instance, per normalcy orientation, per verify phase) into a copy of
+    // a num_signals-sized array plus read-only references.
+
+    /// Initial per-signal slacks (indexed by SignalId; fixed = 0).
+    [[nodiscard]] const std::vector<SignalSlack>& initial_slacks() const noexcept {
+        return initial_slacks_;
+    }
+
+    /// Both-side variables of each signal, grouped by SignalId.
+    [[nodiscard]] const std::vector<std::vector<VarRef>>& vars_of_signal()
+        const noexcept {
+        return vars_of_signal_;
+    }
+
 private:
+    void build(const unf::PrefixConsistency& consistency);
+
     const stg::Stg* stg_;
     const unf::Prefix* prefix_;
     std::vector<unf::EventId> events_;
     std::vector<BitVec> preds_, succs_, confs_;
     std::vector<stg::SignalId> signal_;
     std::vector<int> delta_;
+    std::vector<SignalSlack> initial_slacks_;
+    std::vector<std::vector<VarRef>> vars_of_signal_;
     stg::Code initial_code_;
     bool conflict_free_ = false;
 };

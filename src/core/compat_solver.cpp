@@ -29,7 +29,7 @@ bool CompatSolver::force_extreme(stg::SignalId z, bool maximum) {
     // To satisfy the relation, D_z must take its extreme value: every
     // unassigned variable of z is forced (max: coef>0 -> 1, coef<0 -> 0;
     // min: the opposite).
-    for (const VarRef& v : vars_of_signal_[z]) {
+    for (const VarRef& v : problem_->vars_of_signal()[z]) {
         if (val_[v.side][v.idx] != kUnassigned) continue;
         const int coef = coefficient(v.side, v.idx);
         const std::int8_t forced =
@@ -243,29 +243,45 @@ SearchOutcome CompatSolver::solve(CodeRelation relation,
     stats_ = stg::CheckStats{};
     outcome_ = SearchOutcome{};
 
-    signals_.assign(problem_->stg().num_signals(), SignalState{});
-    vars_of_signal_.assign(problem_->stg().num_signals(), {});
-    for (std::size_t i = 0; i < q; ++i) {
-        for (int side = 0; side < 2; ++side) {
-            const int coef = coefficient(side, i);
-            SignalState& s = signals_[problem_->signal(i)];
-            if (coef > 0)
-                ++s.pos_slack;
-            else
-                ++s.neg_slack;
-            vars_of_signal_[problem_->signal(i)].push_back(
-                VarRef{static_cast<std::uint8_t>(side),
-                       static_cast<std::uint32_t>(i)});
-        }
+    // Seed the per-signal interval state from the problem's shared template
+    // (tier-1 artifact: computed once, copied per instance).
+    const auto& slacks = problem_->initial_slacks();
+    signals_.assign(slacks.size(), SignalState{});
+    for (std::size_t z = 0; z < slacks.size(); ++z) {
+        signals_[z].pos_slack = slacks[z].pos;
+        signals_[z].neg_slack = slacks[z].neg;
     }
+
+    // Tier-2 learned clauses: snapshot the first-difference cuts proved by
+    // sibling instances whose feasible set contains ours.  Skipped subtrees
+    // are leaf-free, so the enumeration order of actual candidate pairs --
+    // and with it verdict and witness -- is exactly that of an uncached run.
+    const int relation_key = static_cast<int>(relation);
+    BitVec known_cuts;
+    if (opts_.clauses && opts_.clauses->num_vars() == q)
+        known_cuts = opts_.clauses->cuts_for(relation_key, conflict_free_mode_);
+    std::size_t cuts_replayed = 0, cuts_recorded = 0;
 
     // Outer loop over the first index d where the two vectors differ.
     cancelled_ = false;
     for (std::size_t d = 0; d < q && !outcome_.found && !cancelled_; ++d) {
+        if (!known_cuts.empty() && known_cuts.test(d)) {
+            ++cuts_replayed;
+            continue;
+        }
         first_diff_ = d;
+        const std::size_t leaves_before = stats_.leaves;
         const std::size_t mark = trail_.size();
         if (assign(0, d, 0) && assign(1, d, 1)) (void)dfs(accept);
         undo_to(mark);
+        // The subtree was exhausted (not found, not cancelled) without a
+        // single leaf: no pair satisfies the linear system with first
+        // difference d.  Record the cut for siblings.
+        if (opts_.clauses && opts_.clauses->num_vars() == q &&
+            !outcome_.found && !cancelled_ && stats_.leaves == leaves_before) {
+            opts_.clauses->record_cut(relation_key, conflict_free_mode_, d);
+            ++cuts_recorded;
+        }
     }
     outcome_.cancelled = cancelled_;
     outcome_.stats = stats_;
@@ -274,11 +290,14 @@ SearchOutcome CompatSolver::solve(CodeRelation relation,
     obs::counter("compat.solves").add();
     obs::counter("compat.nodes").add(stats_.search_nodes);
     obs::counter("compat.leaves").add(stats_.leaves);
+    if (cuts_replayed > 0) obs::counter("cache.clauses.replayed").add(cuts_replayed);
     span.attr("vars", 2 * q);
     span.attr("conflict_free_mode", conflict_free_mode_);
     span.attr("nodes", stats_.search_nodes);
     span.attr("leaves", stats_.leaves);
     span.attr("found", outcome_.found);
+    if (cuts_replayed > 0) span.attr("cuts_replayed", cuts_replayed);
+    if (cuts_recorded > 0) span.attr("cuts_recorded", cuts_recorded);
     if (cancelled_) span.attr("cancelled", true);
     return outcome_;
 }

@@ -29,6 +29,7 @@
 #include <functional>
 #include <optional>
 
+#include "cache/clause_store.hpp"
 #include "core/coding_problem.hpp"
 #include "sched/cancellation.hpp"
 #include "stg/results.hpp"
@@ -64,6 +65,15 @@ struct SearchOptions {
     /// nodes; a cancelled solve stops early with found == false and
     /// cancelled == true.  Empty token (the default): never cancelled.
     sched::CancellationToken cancel;
+    /// Learned-clause store shared with sibling instances (tier 2,
+    /// src/cache/): proved leaf-free first-difference subtrees are skipped
+    /// on replay and newly proved ones recorded.  Never changes verdicts or
+    /// witnesses (docs/CACHING.md); nullptr = no sharing.
+    cache::ClauseStore* clauses = nullptr;
+    /// Checker-level switch for the shared-store wiring (`--no-cache`):
+    /// when false, UnfoldingChecker leaves `clauses` unset and skips the
+    /// USC->CSC subsumption certificates.
+    bool use_learned_clauses = true;
 };
 
 /// Leaf predicate: given the two dense configurations, decide whether they
@@ -98,11 +108,6 @@ private:
         int neg_slack = 0;  ///< number of unassigned vars with coefficient -1
     };
 
-    struct VarRef {
-        std::uint8_t side;  // 0 = x', 1 = x''
-        std::uint32_t idx;
-    };
-
     [[nodiscard]] int coefficient(int side, std::size_t idx) const {
         return side == 0 ? problem_->delta(idx) : -problem_->delta(idx);
     }
@@ -122,8 +127,10 @@ private:
     std::size_t first_diff_ = 0;  ///< current outer-loop index d
 
     std::vector<std::int8_t> val_[2];
+    // Per-signal interval state, seeded from the problem's shared template
+    // (CodingProblem::initial_slacks); the per-signal variable lists stay
+    // read-only in the problem and are never copied.
     std::vector<SignalState> signals_;
-    std::vector<std::vector<VarRef>> vars_of_signal_;
     std::vector<VarRef> trail_;
     std::vector<std::pair<VarRef, std::int8_t>> pending_;
     stg::CheckStats stats_;

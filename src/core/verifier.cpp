@@ -20,28 +20,41 @@ VerificationReport verify_stg(const stg::Stg& input, VerifyOptions opts,
     obs::Span span("verify");
     span.attr("stg", input.name());
     VerificationReport report;
+    std::shared_ptr<const stg::Stg> contracted_owner;
     if (opts.contract_dummies && input.has_dummies()) {
         obs::Span phase("contract");
         auto result = stg::contract_dummies(input);
         report.dummies_contracted = result.contracted;
-        report.contracted_stg = std::move(result.stg);
+        // The artifact bundle outlives this call inside the report, so the
+        // contracted STG it references must be shared-owned; the report
+        // additionally keeps its own copy for format_report and friends.
+        contracted_owner =
+            std::make_shared<const stg::Stg>(std::move(result.stg));
+        report.contracted_stg = *contracted_owner;
         phase.attr("contracted", report.dummies_contracted);
     }
-    const stg::Stg& stg = report.contracted_stg ? *report.contracted_stg : input;
-    unf::Prefix prefix = unf::unfold(stg.system(), opts.unfold);
-    report.prefix.conditions = prefix.num_conditions();
-    report.prefix.events = prefix.num_events();
-    report.prefix.cutoffs = prefix.num_cutoffs();
+    const stg::Stg& stg = contracted_owner ? *contracted_owner : input;
 
-    obs::Span consistency_span("consistency");
-    const auto consistency = unf::analyze_consistency(stg, prefix);
-    consistency_span.finish();
-    report.consistent = consistency.consistent;
-    report.inconsistency_reason = consistency.reason;
-    if (!consistency.consistent) return report;
-    report.initial_code = consistency.initial_code;
+    // Tier-1 shared artifacts: the prefix, its consistency analysis, the
+    // coding problem, condition masks and the learned-clause store are
+    // computed exactly once here and shared by every checking phase (the
+    // consistency analysis used to run twice -- once here and once inside
+    // the CodingProblem constructor).
+    report.artifacts =
+        contracted_owner
+            ? std::make_shared<const cache::PrefixArtifacts>(contracted_owner,
+                                                             opts.unfold)
+            : std::make_shared<const cache::PrefixArtifacts>(input, opts.unfold);
+    const cache::PrefixArtifacts& artifacts = *report.artifacts;
+    report.prefix.conditions = artifacts.prefix().num_conditions();
+    report.prefix.events = artifacts.prefix().num_events();
+    report.prefix.cutoffs = artifacts.prefix().num_cutoffs();
+    report.consistent = artifacts.consistency().consistent;
+    report.inconsistency_reason = artifacts.consistency().reason;
+    if (!report.consistent) return report;
+    report.initial_code = artifacts.consistency().initial_code;
 
-    UnfoldingChecker checker(stg, std::move(prefix));
+    UnfoldingChecker checker(report.artifacts);
     // The three coding phases are independent reads of the same prefix and
     // coding problem; each phase writes a disjoint report field, so they
     // can run concurrently.  The serial executor (jobs == 1) calls them in

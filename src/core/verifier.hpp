@@ -39,6 +39,13 @@ struct PrefixStats {
 };
 
 struct VerificationReport {
+    /// Shared per-prefix artifact bundle the checks ran on (tier-1 cache):
+    /// prefix, consistency, coding problem, learned-clause store.  Lets
+    /// consumers such as `stgcheck --cores` / `--dot` reuse the prefix
+    /// instead of re-unfolding.  Null only on the early contract-failure
+    /// paths; drop it (reset()) to release prefix memory when keeping many
+    /// reports, as `stgbatch` does.
+    cache::PrefixArtifactsPtr artifacts;
     PrefixStats prefix;
     unsigned jobs = 1;  ///< resolved worker count the checks ran with
     bool consistent = true;

@@ -96,6 +96,199 @@ std::string Json::dump(int indent) const {
     return out;
 }
 
+namespace {
+
+/// Recursive-descent JSON parser over a character range.  Every production
+/// returns false on malformed input and the caller unwinds; position is
+/// only meaningful while the parse is still succeeding.
+class Parser {
+public:
+    Parser(const char* p, const char* end) : p_(p), end_(end) {}
+
+    bool parse_document(Json& out) {
+        skip_ws();
+        if (!parse_value(out, 0)) return false;
+        skip_ws();
+        return p_ == end_;  // trailing garbage is an error
+    }
+
+private:
+    static constexpr int kMaxDepth = 128;
+
+    void skip_ws() {
+        while (p_ != end_ &&
+               (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r'))
+            ++p_;
+    }
+
+    bool literal(const char* word) {
+        const char* q = p_;
+        for (; *word; ++word, ++q)
+            if (q == end_ || *q != *word) return false;
+        p_ = q;
+        return true;
+    }
+
+    bool parse_value(Json& out, int depth) {
+        if (depth > kMaxDepth || p_ == end_) return false;
+        switch (*p_) {
+            case 'n': return literal("null") && (out = Json{}, true);
+            case 't': return literal("true") && (out = Json(true), true);
+            case 'f': return literal("false") && (out = Json(false), true);
+            case '"': {
+                std::string s;
+                if (!parse_string(s)) return false;
+                out = Json(std::move(s));
+                return true;
+            }
+            case '[': return parse_array(out, depth);
+            case '{': return parse_object(out, depth);
+            default: return parse_number(out);
+        }
+    }
+
+    bool parse_array(Json& out, int depth) {
+        ++p_;  // '['
+        out = Json::array();
+        skip_ws();
+        if (p_ != end_ && *p_ == ']') return ++p_, true;
+        while (true) {
+            Json item;
+            skip_ws();
+            if (!parse_value(item, depth + 1)) return false;
+            out.push(std::move(item));
+            skip_ws();
+            if (p_ == end_) return false;
+            if (*p_ == ']') return ++p_, true;
+            if (*p_ != ',') return false;
+            ++p_;
+        }
+    }
+
+    bool parse_object(Json& out, int depth) {
+        ++p_;  // '{'
+        out = Json::object();
+        skip_ws();
+        if (p_ != end_ && *p_ == '}') return ++p_, true;
+        while (true) {
+            skip_ws();
+            std::string key;
+            if (p_ == end_ || *p_ != '"' || !parse_string(key)) return false;
+            skip_ws();
+            if (p_ == end_ || *p_ != ':') return false;
+            ++p_;
+            skip_ws();
+            Json value;
+            if (!parse_value(value, depth + 1)) return false;
+            out.set(std::move(key), std::move(value));
+            skip_ws();
+            if (p_ == end_) return false;
+            if (*p_ == '}') return ++p_, true;
+            if (*p_ != ',') return false;
+            ++p_;
+        }
+    }
+
+    bool parse_string(std::string& out) {
+        ++p_;  // opening quote
+        while (p_ != end_ && *p_ != '"') {
+            const unsigned char c = static_cast<unsigned char>(*p_);
+            if (c < 0x20) return false;  // raw control character
+            if (c != '\\') {
+                out += *p_++;
+                continue;
+            }
+            if (++p_ == end_) return false;
+            switch (*p_) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        if (++p_ == end_) return false;
+                        const char h = *p_;
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return false;
+                    }
+                    append_utf8(out, cp);
+                    break;
+                }
+                default: return false;
+            }
+            ++p_;
+        }
+        if (p_ == end_) return false;
+        ++p_;  // closing quote
+        return true;
+    }
+
+    static void append_utf8(std::string& out, unsigned cp) {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool parse_number(Json& out) {
+        const char* start = p_;
+        bool negative = false, fractional = false;
+        if (p_ != end_ && *p_ == '-') {
+            negative = true;
+            ++p_;
+        }
+        while (p_ != end_ && ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' ||
+                              *p_ == 'e' || *p_ == 'E' || *p_ == '+' ||
+                              *p_ == '-')) {
+            if (*p_ == '.' || *p_ == 'e' || *p_ == 'E') fractional = true;
+            ++p_;
+        }
+        if (p_ == start || (negative && p_ == start + 1)) return false;
+        const std::string tok(start, p_);
+        try {
+            if (fractional)
+                out = Json(std::stod(tok));
+            else if (negative)
+                out = Json(std::stoll(tok));
+            else
+                out = Json(std::stoull(tok));
+        } catch (const std::exception&) {
+            return false;  // overflow or malformed digits
+        }
+        return true;
+    }
+
+    const char* p_;
+    const char* end_;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(const std::string& text) {
+    Json out;
+    Parser parser(text.data(), text.data() + text.size());
+    if (!parser.parse_document(out)) return std::nullopt;
+    return out;
+}
+
 bool save_json(const std::string& path, const Json& j, int indent) {
     std::ofstream out(path);
     if (!out) return false;

@@ -1,13 +1,15 @@
-// stgcc -- minimal ordered JSON value builder for the observability layer.
+// stgcc -- minimal ordered JSON value tree for the observability layer.
 //
 // The repo deliberately carries no third-party JSON dependency; this small
 // tree type covers everything the tracer, the metrics registry, the
-// `stgcheck --json` report and the bench harness need: build a value,
-// `dump()` it.  Object keys keep insertion order so exported reports and
-// golden files are byte-stable across runs.
+// `stgcheck --json` report, the bench harness and the on-disk result cache
+// (src/cache/) need: build a value, `dump()` it, `parse()` it back.  Object
+// keys keep insertion order so exported reports and golden files are
+// byte-stable across runs.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -54,6 +56,42 @@ public:
 
     [[nodiscard]] Kind kind() const noexcept { return kind_; }
 
+    // Value accessors.  Wrong-kind access returns the type's default value
+    // (consumers such as the result cache treat malformed documents as
+    // misses, so these are deliberately forgiving rather than throwing).
+    [[nodiscard]] bool as_bool() const noexcept {
+        return kind_ == Kind::Bool && bool_;
+    }
+    [[nodiscard]] std::int64_t as_int() const noexcept {
+        if (kind_ == Kind::Int) return int_;
+        if (kind_ == Kind::Uint) return static_cast<std::int64_t>(uint_);
+        if (kind_ == Kind::Double) return static_cast<std::int64_t>(dbl_);
+        return 0;
+    }
+    [[nodiscard]] std::uint64_t as_uint() const noexcept {
+        if (kind_ == Kind::Uint) return uint_;
+        if (kind_ == Kind::Int && int_ >= 0)
+            return static_cast<std::uint64_t>(int_);
+        if (kind_ == Kind::Double && dbl_ >= 0)
+            return static_cast<std::uint64_t>(dbl_);
+        return 0;
+    }
+    [[nodiscard]] double as_double() const noexcept {
+        if (kind_ == Kind::Double) return dbl_;
+        if (kind_ == Kind::Int) return static_cast<double>(int_);
+        if (kind_ == Kind::Uint) return static_cast<double>(uint_);
+        return 0.0;
+    }
+    [[nodiscard]] const std::string& as_string() const noexcept { return str_; }
+
+    /// Array element access; requires kind() == Array and i < size().
+    [[nodiscard]] const Json& at(std::size_t i) const { return items_[i]; }
+
+    /// Object member access by insertion index (key, value).
+    [[nodiscard]] const std::pair<std::string, Json>& member(std::size_t i) const {
+        return members_[i];
+    }
+
     /// Object insertion (keeps insertion order); returns *this for chaining.
     Json& set(std::string key, Json value) {
         members_.emplace_back(std::move(key), std::move(value));
@@ -83,6 +121,13 @@ public:
 
     /// JSON string escaping ('"', '\\', control characters).
     [[nodiscard]] static std::string escape(const std::string& s);
+
+    /// Parse a JSON document.  Returns nullopt on any syntax error (no
+    /// exceptions: the result cache treats unreadable entries as misses).
+    /// Accepts exactly what dump() produces plus arbitrary whitespace and
+    /// the standard escape set; numbers without '.', 'e' or sign parse as
+    /// Uint, with a leading '-' as Int, otherwise as Double.
+    [[nodiscard]] static std::optional<Json> parse(const std::string& text);
 
 private:
     void dump_to(std::string& out, int indent, int depth) const;

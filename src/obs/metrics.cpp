@@ -52,6 +52,10 @@ constexpr const char* kBuiltinCounters[] = {
     "compat.closure_prunes", "sg.builds",     "sg.states",
     "sg.edges",         "sched.tasks_submitted", "sched.tasks_executed",
     "sched.tasks_stolen", "sched.steal_failures", "sched.worker_busy_ns",
+    "cache.artifacts.built",  "cache.clauses.recorded",
+    "cache.clauses.replayed", "cache.certificates.csc_from_usc",
+    "cache.result.hits",      "cache.result.misses",
+    "cache.result.stores",    "cache.result.evicted",
 };
 constexpr const char* kBuiltinGauges[] = {
     "unfold.pe_queue_peak", "unfold.co_pairs", "sg.hash_load_permille",

@@ -19,12 +19,20 @@ std::vector<int> change_vector_of(const stg::Stg& stg, const Prefix& prefix,
     return v;
 }
 
-PrefixConsistency analyze_consistency(const stg::Stg& stg, const Prefix& prefix) {
+namespace {
+
+/// Shared implementation; `co_rows` (events concurrent with e) is optional
+/// -- without it, rows are derived on the fly from the prefix relations via
+/// word-parallel set subtraction, which is equivalent to (and replaces) the
+/// historical pairwise Prefix::concurrent scan.
+PrefixConsistency analyze_consistency_impl(const stg::Stg& stg,
+                                           const Prefix& prefix,
+                                           const std::vector<BitVec>* co_rows) {
     stg.require_dummy_free();
     PrefixConsistency result;
     result.initial_code = stg::Code(stg.num_signals());
 
-    // Events grouped by signal.
+    // Events grouped by signal (event ids ascending).
     std::vector<std::vector<EventId>> by_signal(stg.num_signals());
     for (EventId e = 0; e < prefix.num_events(); ++e)
         by_signal[stg.label(prefix.event(e).transition).signal].push_back(e);
@@ -35,16 +43,34 @@ PrefixConsistency analyze_consistency(const stg::Stg& stg, const Prefix& prefix)
         const auto& ez = by_signal[z];
         // (1) No two edges of the same signal may be concurrent: otherwise
         // some firing sequence contains z+ z+ or makes the code non-binary.
-        for (std::size_t i = 0; i < ez.size() && result.consistent; ++i)
-            for (std::size_t j = i + 1; j < ez.size(); ++j)
-                if (prefix.concurrent(ez[i], ez[j])) {
+        // For each event (ascending), intersect its co-row with the set of
+        // later same-signal events; the lowest hit reproduces the pair the
+        // pairwise (i, j) scan used to report.
+        if (ez.size() > 1) {
+            BitVec later = prefix.make_event_set();
+            for (EventId f : ez) later.set(f);
+            for (std::size_t i = 0; i + 1 < ez.size(); ++i) {
+                const EventId e = ez[i];
+                later.reset(e);
+                BitVec cand = later;
+                if (co_rows) {
+                    cand &= (*co_rows)[e];
+                } else {
+                    cand.subtract(prefix.local_config(e));
+                    cand.subtract(prefix.successors(e));
+                    cand.subtract(prefix.conflicts(e));
+                }
+                if (cand.any()) {
+                    const EventId f = static_cast<EventId>(cand.find_first());
                     result.consistent = false;
                     result.reason = "concurrent edges of signal " +
                                     stg.signal_name(z) + " (" +
-                                    prefix.event_name(ez[i]) + " co " +
-                                    prefix.event_name(ez[j]) + ")";
+                                    prefix.event_name(e) + " co " +
+                                    prefix.event_name(f) + ")";
                     break;
                 }
+            }
+        }
         if (!result.consistent) break;
 
         // (2) Alternation along causal chains; first occurrences fix v0.
@@ -115,6 +141,17 @@ PrefixConsistency analyze_consistency(const stg::Stg& stg, const Prefix& prefix)
         for (SignalId z = 0; z < stg.num_signals(); ++z)
             if (v0[z] == 1) result.initial_code.set(z);
     return result;
+}
+
+}  // namespace
+
+PrefixConsistency analyze_consistency(const stg::Stg& stg, const Prefix& prefix) {
+    return analyze_consistency_impl(stg, prefix, nullptr);
+}
+
+PrefixConsistency analyze_consistency(const stg::Stg& stg, const Prefix& prefix,
+                                      const std::vector<BitVec>& co_rows) {
+    return analyze_consistency_impl(stg, prefix, &co_rows);
 }
 
 bool is_dynamically_conflict_free(const Prefix& prefix) {

@@ -25,6 +25,14 @@ struct PrefixConsistency {
 [[nodiscard]] PrefixConsistency analyze_consistency(const stg::Stg& stg,
                                                     const Prefix& prefix);
 
+/// Same analysis reusing precomputed co-relation rows (`co_rows[e]` = bit
+/// set of events concurrent with e, width of Prefix::make_event_set()), as
+/// kept by cache::PrefixArtifacts.  Produces exactly the same result and
+/// diagnosis strings as the two-argument overload.
+[[nodiscard]] PrefixConsistency analyze_consistency(
+    const stg::Stg& stg, const Prefix& prefix,
+    const std::vector<BitVec>& co_rows);
+
 /// True when the STG is free from dynamic conflicts, detected on the prefix
 /// as: no condition has more than one consumer event.  For complete
 /// prefixes this is exact (every reachable marking and enabled transition is

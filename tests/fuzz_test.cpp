@@ -1,16 +1,40 @@
 // Robustness tests: the text-format parsers must never crash or corrupt
 // state on malformed input -- every failure mode is a thrown ModelError
-// (or a successful parse of a still-valid mutation).
+// (or a successful parse of a still-valid mutation) -- and the full
+// verification pipeline agrees with the state-graph ground truth on
+// freshly generated random models.
+//
+// Every failure message carries the RNG seed that produced the input;
+// rerun a single failing case with
+//   STGCC_FUZZ_SEED=<seed> ./build/tests/stgcc_tests --gtest_filter='*Fuzz*'
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <optional>
 #include <random>
 
+#include "core/verifier.hpp"
 #include "petri/pnml.hpp"
 #include "stg/astg.hpp"
 #include "stg/benchmarks.hpp"
+#include "stg/state_checks.hpp"
+#include "stg/state_graph.hpp"
+#include "test_util.hpp"
 
 namespace stgcc {
 namespace {
+
+/// STGCC_FUZZ_SEED, when set, pins the fuzz tests to one seed for
+/// reproducing a reported failure; 0 = not set.
+std::optional<unsigned> pinned_fuzz_seed() {
+    if (const char* env = std::getenv("STGCC_FUZZ_SEED")) {
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end && *end == '\0')
+            return static_cast<unsigned>(v);
+    }
+    return std::nullopt;
+}
 
 std::string mutate(const std::string& text, std::mt19937& rng) {
     std::string out = text;
@@ -96,6 +120,52 @@ TEST_P(PnmlFuzzTest, MutatedInputNeverCrashes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PnmlFuzzTest, ::testing::Range(0u, 10u));
+
+// --- verifier fuzzing ------------------------------------------------------
+
+TEST(VerifierFuzz, RandomModelsAgreeWithStateGraph) {
+    // Each round draws a generator seed, builds a random STG (with choice,
+    // sync and dummy transitions) and runs the cached verify pipeline
+    // against the state-graph baseline.  The SCOPED_TRACE line below puts
+    // the failing seed -- and the exact command to replay it -- into every
+    // assertion message.
+    const auto pinned = pinned_fuzz_seed();
+    std::mt19937 seeder(0x57D6CCu);
+    const int rounds = pinned ? 1 : 12;
+    for (int round = 0; round < rounds; ++round) {
+        const unsigned seed = pinned ? *pinned : seeder();
+        SCOPED_TRACE("failing seed " + std::to_string(seed) +
+                     "; rerun with STGCC_FUZZ_SEED=" + std::to_string(seed));
+        test::RandomStgConfig cfg;
+        cfg.machines = 2 + static_cast<int>(seed % 2);
+        cfg.signals_per_machine = 3;
+        cfg.sync_transitions = static_cast<int>(seed % 3);
+        cfg.dummy_probability = 0.15;
+        const auto model = test::random_stg(seed, cfg);
+
+        core::VerifyOptions opts;
+        opts.contract_dummies = true;
+        const auto report = core::verify_stg(model, opts);
+        ASSERT_TRUE(report.consistent) << report.inconsistency_reason;
+        const stg::Stg& checked =
+            report.contracted_stg ? *report.contracted_stg : model;
+        stg::StateGraph sg(checked);
+        ASSERT_TRUE(sg.consistent()) << sg.inconsistency_reason();
+        EXPECT_EQ(report.usc.holds, stg::check_usc_sg(sg).holds);
+        EXPECT_EQ(report.csc.holds, stg::check_csc_sg(sg).holds);
+        EXPECT_EQ(report.normalcy.normal, stg::check_normalcy_sg(sg).normal);
+        // Witnesses must replay on the checked net.
+        if (!report.usc.holds) {
+            const auto& w = *report.usc.witness;
+            auto m1 = checked.system().fire_sequence(w.trace1);
+            auto m2 = checked.system().fire_sequence(w.trace2);
+            ASSERT_TRUE(m1 && m2);
+            EXPECT_FALSE(*m1 == *m2);
+            EXPECT_EQ(checked.change_vector(w.trace1),
+                      checked.change_vector(w.trace2));
+        }
+    }
+}
 
 }  // namespace
 }  // namespace stgcc

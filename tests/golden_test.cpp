@@ -1,0 +1,103 @@
+// Golden verdict+witness regression suite: the full human-readable
+// verification report (verdicts, witness traces, conflicting codes, prefix
+// shape) of every model shipped in models/ is pinned byte-for-byte under
+// tests/golden/.  Any change to the checkers, the unfolding order, the
+// caching layer or the report renderer that moves a verdict or a witness
+// shows up as a readable text diff here.
+//
+// Regenerate after an intentional change with
+//   STGCC_UPDATE_GOLDEN=1 ./build/tests/stgcc_tests --gtest_filter='Golden*'
+// and review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/verifier.hpp"
+#include "stg/astg.hpp"
+
+namespace stgcc {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool update_mode() {
+    const char* env = std::getenv("STGCC_UPDATE_GOLDEN");
+    return env && *env && std::string(env) != "0";
+}
+
+std::vector<std::string> model_files() {
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(STGCC_MODELS_DIR, ec))
+        if (entry.is_regular_file() && entry.path().extension() == ".g")
+            files.push_back(entry.path().string());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::string read_text(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+class GoldenReportTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenReportTest, ReportMatchesPinnedText) {
+    const std::string file = GetParam();
+    stg::Stg model;
+    try {
+        model = stg::load_astg_file(file);
+    } catch (const ModelError& ex) {
+        GTEST_SKIP() << "models/ not found: " << ex.what();
+    }
+    core::VerifyOptions opts;
+    opts.check_deadlock = true;  // cover the deadlock verdict line too
+    const auto report = core::verify_stg(model, opts);
+    const std::string text = core::format_report(model, report);
+
+    const fs::path golden = fs::path(STGCC_GOLDEN_DIR) /
+                            (fs::path(file).stem().string() + ".report.txt");
+    if (update_mode()) {
+        std::ofstream out(golden, std::ios::binary | std::ios::trunc);
+        out << text;
+        ASSERT_TRUE(out.good()) << "cannot write " << golden;
+        SUCCEED() << "updated " << golden;
+        return;
+    }
+    ASSERT_TRUE(fs::exists(golden))
+        << golden << " missing; regenerate with STGCC_UPDATE_GOLDEN=1";
+    EXPECT_EQ(text, read_text(golden))
+        << "report for " << file << " drifted from " << golden
+        << "; if intentional, regenerate with STGCC_UPDATE_GOLDEN=1";
+}
+
+std::vector<std::string> golden_params() {
+    auto files = model_files();
+    if (files.empty()) files.push_back("__models_dir_missing__");
+    return files;
+}
+
+std::string param_name(const ::testing::TestParamInfo<std::string>& info) {
+    std::string name = fs::path(info.param).stem().string();
+    std::replace_if(
+        name.begin(), name.end(),
+        [](char c) { return !std::isalnum(static_cast<unsigned char>(c)); },
+        '_');
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, GoldenReportTest,
+                         ::testing::ValuesIn(golden_params()), param_name);
+
+TEST(GoldenSuite, ModelDirectoryWasFound) {
+    EXPECT_FALSE(model_files().empty())
+        << "no .g files under " STGCC_MODELS_DIR;
+}
+
+}  // namespace
+}  // namespace stgcc

@@ -45,6 +45,26 @@ TEST(ParallelDeterminism, ReportsByteIdenticalAcrossJobs) {
     }
 }
 
+TEST(ParallelDeterminism, CacheOnAndOffReportsByteIdentical) {
+    // The clause-store replay and the USC->CSC certificates (src/cache/)
+    // must be verdict- and witness-neutral at every jobs value on the
+    // determinism corpus -- the fixed-model counterpart of the random
+    // DifferentialCacheTest fleet.
+    for (const auto& model : determinism_models()) {
+        for (const unsigned jobs : {1u, 8u}) {
+            VerifyOptions on;
+            on.jobs = jobs;
+            on.search.use_learned_clauses = true;
+            VerifyOptions off;
+            off.jobs = jobs;
+            off.search.use_learned_clauses = false;
+            EXPECT_EQ(format_report(model, verify_stg(model, on)),
+                      format_report(model, verify_stg(model, off)))
+                << "model " << model.name() << " jobs=" << jobs;
+        }
+    }
+}
+
 TEST(ParallelDeterminism, RepeatedParallelRunsAreStable) {
     // Re-running at jobs=8 must not depend on the schedule: three runs on
     // the conflict-rich models give one answer.

@@ -3,8 +3,11 @@
 // and their witnesses must replay.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "core/checkers.hpp"
 #include "core/extended_checks.hpp"
+#include "core/verifier.hpp"
 #include "ilp/encodings.hpp"
 #include "petri/reachability.hpp"
 #include "stg/state_checks.hpp"
@@ -138,6 +141,87 @@ TEST_P(RandomSyncStgTest, AllCheckersAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomSyncStgTest,
                          ::testing::Range(11000u, 11030u));
+
+// --- differential cache fleet (docs/CACHING.md) ---------------------------
+//
+// Larger random nets -- three machines, choice places, cross-machine syncs
+// and spliced dummy transitions (contracted before checking) -- verified
+// twice per jobs value: once with the learned-clause/certificate sharing on
+// and once with --no-cache semantics.  The human-readable report must be
+// byte-identical and the machine-readable report identical after stripping
+// the volatile timing/stats fields; this is the executable form of the
+// soundness argument in docs/CACHING.md.  The fleet size scales with
+// STGCC_DIFF_ITERS (the nightly CI job runs 10x).
+
+unsigned diff_iters() {
+    if (const char* env = std::getenv("STGCC_DIFF_ITERS")) {
+        const unsigned long v = std::strtoul(env, nullptr, 10);
+        if (v > 0 && v < 100000) return static_cast<unsigned>(v);
+    }
+    return 8;
+}
+
+class DifferentialCacheTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DifferentialCacheTest, CacheOnAndOffAreByteIdentical) {
+    const unsigned seed = GetParam();
+    test::RandomStgConfig cfg;
+    cfg.machines = 3;
+    cfg.signals_per_machine = 3;
+    cfg.places_per_machine = 10;
+    cfg.sync_transitions = 2;
+    cfg.dummy_probability = 0.2;
+    const auto model = test::random_stg(seed, cfg);
+
+    core::VerifyOptions base;
+    base.contract_dummies = true;  // generated dummies need contraction
+    base.check_deadlock = true;
+    for (const unsigned jobs : {1u, 8u}) {
+        core::VerifyOptions on = base;
+        on.jobs = jobs;
+        on.search.use_learned_clauses = true;
+        core::VerifyOptions off = base;
+        off.jobs = jobs;
+        off.search.use_learned_clauses = false;
+        auto r_on = core::verify_stg(model, on);
+        auto r_off = core::verify_stg(model, off);
+        EXPECT_EQ(core::format_report(model, r_on),
+                  core::format_report(model, r_off))
+            << "seed=" << seed << " jobs=" << jobs;
+        EXPECT_EQ(test::canonical_json(core::report_json(model, r_on)),
+                  test::canonical_json(core::report_json(model, r_off)))
+            << "seed=" << seed << " jobs=" << jobs;
+    }
+}
+
+TEST_P(DifferentialCacheTest, ContractedVerdictsAgreeWithStateGraph) {
+    // The same fleet models, cross-checked against ground truth: verify_stg
+    // (contraction + shared artifacts + clause store) must agree with the
+    // state graph of the contracted net.
+    const unsigned seed = GetParam();
+    test::RandomStgConfig cfg;
+    cfg.machines = 2;
+    cfg.signals_per_machine = 3;
+    cfg.dummy_probability = 0.3;
+    const auto model = test::random_stg(seed, cfg);
+
+    core::VerifyOptions opts;
+    opts.contract_dummies = true;
+    const auto report = core::verify_stg(model, opts);
+    ASSERT_TRUE(report.consistent) << "seed=" << seed;
+    const stg::Stg& checked =
+        report.contracted_stg ? *report.contracted_stg : model;
+    EXPECT_FALSE(checked.has_dummies()) << "seed=" << seed;
+    stg::StateGraph sg(checked);
+    ASSERT_TRUE(sg.consistent()) << "seed=" << seed;
+    EXPECT_EQ(report.usc.holds, stg::check_usc_sg(sg).holds)
+        << "seed=" << seed;
+    EXPECT_EQ(report.csc.holds, stg::check_csc_sg(sg).holds)
+        << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialCacheTest,
+                         ::testing::Range(5000u, 5000u + diff_iters()));
 
 }  // namespace
 }  // namespace stgcc

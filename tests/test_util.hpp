@@ -6,10 +6,55 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"
 #include "stg/builder.hpp"
 #include "stg/stg.hpp"
 
 namespace stgcc::test {
+
+/// Canonical dump of a machine-readable report with every volatile field
+/// removed: "seconds" (wall clock), "stats" (schedule-dependent search
+/// counters), "jobs" (resolved worker count) and "metrics" (process-global
+/// counter registry).  What remains is exactly the surface the determinism
+/// contract (docs/PARALLELISM.md) and the cache-neutrality contract
+/// (docs/CACHING.md) promise byte-stable.
+inline void canonical_json(const obs::Json& j, std::string& out) {
+    using Kind = obs::Json::Kind;
+    switch (j.kind()) {
+        case Kind::Object: {
+            out += '{';
+            for (std::size_t i = 0; i < j.size(); ++i) {
+                const auto& [key, value] = j.member(i);
+                if (key == "seconds" || key == "stats" || key == "jobs" ||
+                    key == "metrics")
+                    continue;
+                out += '"';
+                out += key;
+                out += "\":";
+                canonical_json(value, out);
+                out += ',';
+            }
+            out += '}';
+            break;
+        }
+        case Kind::Array:
+            out += '[';
+            for (std::size_t i = 0; i < j.size(); ++i) {
+                canonical_json(j.at(i), out);
+                out += ',';
+            }
+            out += ']';
+            break;
+        default:
+            out += j.dump();
+    }
+}
+
+inline std::string canonical_json(const obs::Json& j) {
+    std::string out;
+    canonical_json(j, out);
+    return out;
+}
 
 /// The two-signal handshake cycle a+ b+ a- b- (smallest interesting STG,
 /// conflict-free).
@@ -46,6 +91,13 @@ struct RandomStgConfig {
     /// place of two machines and produces code-compatible successors,
     /// creating non-free-choice concurrency while preserving consistency).
     int sync_transitions = 0;
+    /// Chance of splicing a dummy (tau) transition into an edge: instead of
+    /// t -> q the generator emits t -> mid -> tau -> q with a fresh place
+    /// `mid` carrying q's code.  `mid` feeds only the dummy, so every
+    /// generated dummy is type-1 securely contractable, and contraction
+    /// recovers exactly the dummy-free net -- models with dummies must be
+    /// verified with contract_dummies enabled.
+    double dummy_probability = 0.0;
 };
 
 /// Generate a random STG that is consistent and safe *by construction*: a
@@ -90,6 +142,7 @@ inline stg::Stg random_stg(unsigned seed, RandomStgConfig cfg = {}) {
         };
         add_place(0u);
         int edge_counter = 0;
+        int dummy_counter = 0;
         for (std::size_t p = 0; p < places.size(); ++p) {
             const int out_edges = 1 + (coin(cfg.branch_probability) ? 1 : 0);
             for (int e = 0; e < out_edges; ++e) {
@@ -117,7 +170,20 @@ inline stg::Stg random_stg(unsigned seed, RandomStgConfig cfg = {}) {
                                           (rising ? "+" : "-") + "/" +
                                           std::to_string(edge_counter++);
                 b.arc(places[p].name, label);
-                b.arc(label, places[target].name);
+                if (coin(cfg.dummy_probability)) {
+                    // Splice a securely contractable dummy into this edge:
+                    // label -> mid -> tau -> target.  `mid` stays out of the
+                    // reuse pool so the dummy remains mid's only consumer.
+                    const std::string mid =
+                        mp + "mid" + std::to_string(dummy_counter);
+                    const std::string tau =
+                        mp + "tau" + std::to_string(dummy_counter++);
+                    b.place(mid, 0).dummy(tau);
+                    b.arc(label, mid).arc(mid, tau);
+                    b.arc(tau, places[target].name);
+                } else {
+                    b.arc(label, places[target].name);
+                }
             }
         }
     }

@@ -9,6 +9,12 @@
 // model as it finishes; the aggregate JSON report (--json) lists models in
 // manifest order, so verdicts are byte-stable at any --jobs value.
 //
+// Caching (docs/CACHING.md): with a cache directory configured
+// (--cache-dir or $STGCC_CACHE_DIR), each model's verdict line and report
+// row are stored keyed by the model file's content hash and the checker
+// options; a warm corpus run replays hits without re-verifying.
+// --no-cache disables the result cache and learned-clause sharing.
+//
 // Exit codes: 0 = every model satisfies all checked properties,
 //             1 = at least one conflict / violation found,
 //             2 = usage or IO error (including any model failing to load).
@@ -22,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/result_cache.hpp"
 #include "core/verifier.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -43,33 +50,81 @@ void print_usage(std::ostream& out) {
            "resolved against the manifest's directory)\n"
            "\n"
            "options:\n"
-           "  --jobs N       worker threads (default: hardware concurrency;\n"
-           "                 1 = serial; verdicts are identical at any N)\n"
-           "  --no-normalcy  skip the normalcy check\n"
-           "  --contract     securely contract dummy transitions first\n"
-           "  --deadlock     also run the deadlock check\n"
-           "  --quiet        suppress per-model result lines\n"
-           "  --json FILE    write the aggregate machine-readable report\n"
-           "  --trace FILE   write a Chrome trace-event JSON\n"
+           "  --jobs N         worker threads (default: hardware concurrency;\n"
+           "                   1 = serial; verdicts are identical at any N)\n"
+           "  --no-normalcy    skip the normalcy check\n"
+           "  --contract       securely contract dummy transitions first\n"
+           "  --deadlock       also run the deadlock check\n"
+           "  --quiet          suppress per-model result lines\n"
+           "  --json FILE      write the aggregate machine-readable report\n"
+           "  --trace FILE     write a Chrome trace-event JSON\n"
+           "  --cache-dir DIR  on-disk result cache (default: $STGCC_CACHE_DIR;\n"
+           "                   unset = no result cache)\n"
+           "  --no-cache       disable result cache and learned-clause sharing\n"
            "\n"
            "exit codes: 0 = all properties hold on every model,\n"
            "            1 = conflict found, 2 = usage/IO error\n";
 }
 
-/// Everything recorded about one model, merged in manifest order.
-struct ModelResult {
-    std::string name;          ///< model name from the .g (or file stem)
-    std::string file;          ///< path as listed in the manifest
-    bool loaded = false;
-    std::string error;         ///< load/verify failure, when !loaded
-    core::VerificationReport report;
-    double seconds = 0.0;
-    [[nodiscard]] bool all_hold() const {
-        return loaded && report.consistent && report.usc.holds &&
-               report.csc.holds &&
-               (!report.normalcy_checked || report.normalcy.normal) &&
-               (!report.deadlock_checked || report.deadlock_free);
+/// True when every checked property holds on a verified model.
+bool report_all_hold(const core::VerificationReport& r) {
+    return r.consistent && r.usc.holds && r.csc.holds &&
+           (!r.normalcy_checked || r.normalcy.normal) &&
+           (!r.deadlock_checked || r.deadlock_free);
+}
+
+std::string report_verdict_line(const core::VerificationReport& r) {
+    if (!r.consistent)
+        return "inconsistent (" + r.inconsistency_reason + ")";
+    std::string out;
+    out += r.usc.holds ? "USC:ok" : "USC:VIOLATED";
+    out += r.csc.holds ? " CSC:ok" : " CSC:VIOLATED";
+    if (r.normalcy_checked)
+        out += r.normalcy.normal ? " normalcy:ok" : " normalcy:VIOLATED";
+    if (r.deadlock_checked)
+        out += r.deadlock_free ? " deadlock:none" : " deadlock:REACHABLE";
+    return out;
+}
+
+/// Aggregate-report row for a verified model, without the volatile
+/// "seconds" field -- exactly what the result cache stores; the caller
+/// appends "seconds" (kept last in the row for that reason).
+obs::Json report_row(const std::string& file, const std::string& name,
+                     const core::VerificationReport& r) {
+    obs::Json row = obs::Json::object();
+    row.set("file", file);
+    row.set("name", name);
+    row.set("status", report_all_hold(r) ? "ok" : "violated");
+    obs::Json verdicts = obs::Json::object();
+    verdicts.set("consistent", r.consistent);
+    if (r.consistent) {
+        verdicts.set("usc", r.usc.holds);
+        verdicts.set("csc", r.csc.holds);
+        if (r.normalcy_checked) verdicts.set("normalcy", r.normalcy.normal);
+        if (r.deadlock_checked)
+            verdicts.set("deadlock_free", r.deadlock_free);
     }
+    row.set("verdicts", std::move(verdicts));
+    row.set("prefix", obs::Json::object()
+                          .set("conditions", r.prefix.conditions)
+                          .set("events", r.prefix.events)
+                          .set("cutoffs", r.prefix.cutoffs));
+    return row;
+}
+
+/// Everything recorded about one model, merged in manifest order.  Holds
+/// only rendered data (verdict line, report row) -- full reports and their
+/// prefix artifacts are dropped as soon as each model finishes, and cache
+/// hits never materialise them at all.
+struct ModelResult {
+    std::string file;       ///< path as listed in the manifest
+    bool loaded = false;
+    bool all_hold = false;
+    bool from_cache = false;
+    std::string error;      ///< load/verify failure, when !loaded
+    std::string verdict;    ///< streamed verdict line
+    obs::Json row;          ///< aggregate-report row (seconds appended later)
+    double seconds = 0.0;
 };
 
 std::vector<std::string> collect_manifest(const std::string& arg,
@@ -107,48 +162,6 @@ std::vector<std::string> collect_manifest(const std::string& arg,
     return files;
 }
 
-std::string verdict_line(const ModelResult& r) {
-    if (!r.loaded) return "ERROR (" + r.error + ")";
-    if (!r.report.consistent)
-        return "inconsistent (" + r.report.inconsistency_reason + ")";
-    std::string out;
-    out += r.report.usc.holds ? "USC:ok" : "USC:VIOLATED";
-    out += r.report.csc.holds ? " CSC:ok" : " CSC:VIOLATED";
-    if (r.report.normalcy_checked)
-        out += r.report.normalcy.normal ? " normalcy:ok" : " normalcy:VIOLATED";
-    if (r.report.deadlock_checked)
-        out += r.report.deadlock_free ? " deadlock:none" : " deadlock:REACHABLE";
-    return out;
-}
-
-obs::Json model_json(const ModelResult& r) {
-    obs::Json row = obs::Json::object();
-    row.set("file", r.file);
-    if (!r.loaded) {
-        row.set("status", "error").set("error", r.error);
-        return row;
-    }
-    row.set("name", r.name);
-    row.set("status", r.all_hold() ? "ok" : "violated");
-    row.set("seconds", r.seconds);
-    obs::Json verdicts = obs::Json::object();
-    verdicts.set("consistent", r.report.consistent);
-    if (r.report.consistent) {
-        verdicts.set("usc", r.report.usc.holds);
-        verdicts.set("csc", r.report.csc.holds);
-        if (r.report.normalcy_checked)
-            verdicts.set("normalcy", r.report.normalcy.normal);
-        if (r.report.deadlock_checked)
-            verdicts.set("deadlock_free", r.report.deadlock_free);
-    }
-    row.set("verdicts", std::move(verdicts));
-    row.set("prefix", obs::Json::object()
-                          .set("conditions", r.report.prefix.conditions)
-                          .set("events", r.report.prefix.events)
-                          .set("cutoffs", r.report.prefix.cutoffs));
-    return row;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -163,6 +176,8 @@ int main(int argc, char** argv) {
     bool contract = false;
     bool deadlock = false;
     bool quiet = false;
+    bool use_cache = true;
+    const char* cache_dir_flag = nullptr;
     unsigned jobs = 0;  // 0 = hardware concurrency
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--no-normalcy"))
@@ -173,6 +188,8 @@ int main(int argc, char** argv) {
             deadlock = true;
         else if (!std::strcmp(argv[i], "--quiet"))
             quiet = true;
+        else if (!std::strcmp(argv[i], "--no-cache"))
+            use_cache = false;
         else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
             print_usage(std::cout);
             return 0;
@@ -184,7 +201,9 @@ int main(int argc, char** argv) {
                 return 2;
             }
             jobs = static_cast<unsigned>(v);
-        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+        } else if (!std::strcmp(argv[i], "--cache-dir") && i + 1 < argc)
+            cache_dir_flag = argv[++i];
+        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
             json_path = argv[++i];
         else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
             trace_path = argv[++i];
@@ -214,6 +233,22 @@ int main(int argc, char** argv) {
     vopts.check_normalcy = normalcy;
     vopts.contract_dummies = contract;
     vopts.check_deadlock = deadlock;
+    vopts.search.use_learned_clauses = use_cache;
+
+    // Tier-3 result cache; keyed by content hash + checker options (not
+    // --jobs: verdicts are jobs-independent by the determinism contract).
+    std::string cache_root;
+    if (use_cache) {
+        if (cache_dir_flag)
+            cache_root = cache_dir_flag;
+        else if (const char* env = std::getenv("STGCC_CACHE_DIR"))
+            cache_root = env;
+    }
+    const cache::ResultCache rcache(cache_root);
+    const std::string options_sig =
+        std::string("stgbatch/1;normalcy=") + (normalcy ? "1" : "0") +
+        ";contract=" + (contract ? "1" : "0") + ";deadlock=" +
+        (deadlock ? "1" : "0");
 
     sched::Executor ex(jobs);
     if (!quiet)
@@ -233,13 +268,52 @@ int main(int argc, char** argv) {
         ModelResult& r = results[i];
         r.file = files[i];
         Stopwatch timer;
-        try {
-            stg::Stg model = stg::load_astg_file(files[i]);
-            r.name = model.name();
-            r.report = core::verify_stg(model, vopts, ex);
-            r.loaded = true;
-        } catch (const std::exception& e) {
-            r.error = e.what();
+        std::uint64_t content_hash = 0;
+        bool hashed = false;
+        if (rcache.enabled()) {
+            if (const auto bytes = cache::read_file_bytes(files[i])) {
+                content_hash = cache::fnv1a64(*bytes);
+                hashed = true;
+                if (const auto hit =
+                        rcache.load("stgbatch", content_hash, options_sig)) {
+                    const obs::Json* verdict = hit->find("verdict");
+                    const obs::Json* all_hold = hit->find("all_hold");
+                    const obs::Json* row = hit->find("row");
+                    if (verdict && all_hold && row) {
+                        r.loaded = true;
+                        r.from_cache = true;
+                        r.verdict = verdict->as_string();
+                        r.all_hold = all_hold->as_bool();
+                        r.row = *row;
+                    }
+                }
+            }
+        }
+        if (!r.from_cache) {
+            try {
+                stg::Stg model = stg::load_astg_file(files[i]);
+                const std::string name = model.name();
+                auto report = core::verify_stg(model, vopts, ex);
+                r.loaded = true;
+                r.all_hold = report_all_hold(report);
+                r.verdict = report_verdict_line(report);
+                r.row = report_row(files[i], name, report);
+                if (hashed)
+                    rcache.store("stgbatch", content_hash, options_sig,
+                                 obs::Json::object()
+                                     .set("verdict", r.verdict)
+                                     .set("all_hold", r.all_hold)
+                                     .set("row", r.row));
+            } catch (const std::exception& e) {
+                // Load/verify failures are never cached: the message may
+                // depend on environment state (permissions, limits).
+                r.error = e.what();
+                r.verdict = "ERROR (" + r.error + ")";
+                r.row = obs::Json::object()
+                            .set("file", files[i])
+                            .set("status", "error")
+                            .set("error", r.error);
+            }
         }
         r.seconds = timer.seconds();
         std::lock_guard<std::mutex> lock(out_mu);
@@ -247,7 +321,7 @@ int main(int argc, char** argv) {
         if (!quiet) {
             std::cout << "[" << done << "/" << files.size() << "] "
                       << fs::path(files[i]).filename().string() << "  "
-                      << verdict_line(r) << "  (" << r.seconds << " s)\n";
+                      << r.verdict << "  (" << r.seconds << " s)\n";
         }
     });
     const double total_seconds = total_timer.seconds();
@@ -256,7 +330,7 @@ int main(int argc, char** argv) {
     for (const ModelResult& r : results) {
         if (!r.loaded)
             ++errors;
-        else if (r.all_hold())
+        else if (r.all_hold)
             ++ok;
         else
             ++violated;
@@ -267,7 +341,11 @@ int main(int argc, char** argv) {
 
     if (json_path) {
         obs::Json rows = obs::Json::array();
-        for (const ModelResult& r : results) rows.push(model_json(r));
+        for (const ModelResult& r : results) {
+            obs::Json row = r.row;
+            if (r.loaded) row.set("seconds", r.seconds);
+            rows.push(std::move(row));
+        }
         obs::Json body = obs::Json::object();
         body.set("manifest", manifest);
         body.set("jobs", ex.jobs());
