@@ -29,15 +29,13 @@ void PrefixArtifacts::build() {
 
     // Co-relation rows: co(e) = E \ ([e] | successors(e) | conflicts(e)).
     // Both [e] and successors(e) contain e, so the diagonal is clear.
-    BitVec valid = prefix_.make_event_set();
-    for (std::size_t e = 0; e < n; ++e) valid.set(e);
-    co_rows_.reserve(n);
+    co_rows_ = util::BitMatrix(arena_, n, n);
     for (unf::EventId e = 0; e < n; ++e) {
-        BitVec row = valid;
+        MutBitSpan row = co_rows_.mut_row(e);
+        row.set_all();
         row.subtract(prefix_.local_config(e));
         row.subtract(prefix_.successors(e));
         row.subtract(prefix_.conflicts(e));
-        co_rows_.push_back(std::move(row));
     }
 
     {
@@ -55,15 +53,19 @@ void PrefixArtifacts::build() {
     const std::size_t nb = prefix_.num_conditions();
     min_mask_ = BitVec(nb);
     for (unf::ConditionId b : prefix_.min_conditions()) min_mask_.set(b);
-    pre_masks_.assign(q, BitVec(nb));
-    post_masks_.assign(q, BitVec(nb));
+    pre_masks_ = util::BitMatrix(arena_, q, nb);
+    post_masks_ = util::BitMatrix(arena_, q, nb);
     for (std::size_t i = 0; i < q; ++i) {
         const unf::Event& ev = prefix_.event(problem_->event_of(i));
-        for (unf::ConditionId b : ev.preset) pre_masks_[i].set(b);
-        for (unf::ConditionId b : ev.postset) post_masks_[i].set(b);
+        for (unf::ConditionId b : ev.preset) pre_masks_.set(i, b);
+        for (unf::ConditionId b : ev.postset) post_masks_.set(i, b);
     }
 
     obs::counter("cache.artifacts.built").add();
+    obs::gauge("mem.arena_bytes")
+        .set(static_cast<std::int64_t>(util::Arena::process_live_bytes()));
+    obs::gauge("mem.arena_peak_bytes")
+        .set(static_cast<std::int64_t>(util::Arena::process_peak_bytes()));
     span.attr("dense_events", q);
 }
 
@@ -77,8 +79,8 @@ const core::CodingProblem& PrefixArtifacts::problem() const {
 petri::Marking PrefixArtifacts::marking_of_dense(const BitVec& dense) const {
     STGCC_ASSERT(problem_ != nullptr);
     BitVec cut = min_mask_;
-    dense.for_each([&](std::size_t i) { cut |= post_masks_[i]; });
-    dense.for_each([&](std::size_t i) { cut.subtract(pre_masks_[i]); });
+    dense.for_each([&](std::size_t i) { cut |= post_masks_.row(i); });
+    dense.for_each([&](std::size_t i) { cut.subtract(pre_masks_.row(i)); });
     petri::Marking m(prefix_.system().net().num_places());
     cut.for_each([&](std::size_t b) {
         m.add(prefix_.condition(static_cast<unf::ConditionId>(b)).place);

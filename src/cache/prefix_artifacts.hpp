@@ -3,8 +3,9 @@
 // Everything the USC / CSC / normalcy checkers derive from one unfolding
 // prefix is computed exactly once here and then shared read-only by every
 // solver instance of the model:
-//   * the co-relation rows of the prefix (events concurrent with e), used
-//     by the consistency analysis instead of O(k^2) pairwise queries,
+//   * the co-relation matrix of the prefix (row e = events concurrent with
+//     e), used by the consistency analysis instead of O(k^2) pairwise
+//     queries,
 //   * the consistency analysis itself (and the derived initial code v0),
 //     which verify_stg and the CodingProblem used to compute separately,
 //   * the dense CodingProblem with its per-signal solver template,
@@ -32,6 +33,8 @@
 #include "core/coding_problem.hpp"
 #include "unfolding/prefix_checks.hpp"
 #include "unfolding/unfolder.hpp"
+#include "util/arena.hpp"
+#include "util/bit_matrix.hpp"
 
 namespace stgcc::cache {
 
@@ -65,11 +68,12 @@ public:
     /// the historical CodingProblem diagnosis) when the STG is inconsistent.
     [[nodiscard]] const core::CodingProblem& problem() const;
 
-    /// Events concurrent with `e`, as a bit row over event ids (width of
-    /// Prefix::make_event_set()).
-    [[nodiscard]] const BitVec& co_row(unf::EventId e) const {
-        STGCC_REQUIRE(e < co_rows_.size());
-        return co_rows_[e];
+    /// Events concurrent with `e`, as a bit row over event ids (exactly
+    /// num_events() bits, a row of the arena-backed co matrix -- valid as
+    /// long as the artifacts).
+    [[nodiscard]] BitSpan co_row(unf::EventId e) const {
+        STGCC_REQUIRE(e < co_rows_.rows());
+        return co_rows_.row(e);
     }
 
     /// Marking reached by a dense configuration of the coding problem:
@@ -94,11 +98,12 @@ private:
     std::shared_ptr<const stg::Stg> owned_stg_;  ///< may be null (aliasing ctors)
     const stg::Stg* stg_;
     unf::Prefix prefix_;
-    std::vector<BitVec> co_rows_;
+    util::Arena arena_;           ///< owns the co matrix and condition masks
+    util::BitMatrix co_rows_;     ///< n x n, rows in arena_
     unf::PrefixConsistency consistency_;
     std::unique_ptr<core::CodingProblem> problem_;  ///< null when inconsistent
     BitVec min_mask_;                        ///< Min(ON), width num_conditions
-    std::vector<BitVec> pre_masks_, post_masks_;  ///< per dense event
+    util::BitMatrix pre_masks_, post_masks_;  ///< q x num_conditions, in arena_
     mutable std::unique_ptr<ClauseStore> clauses_;
 };
 

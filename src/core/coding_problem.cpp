@@ -1,5 +1,6 @@
 #include "core/coding_problem.hpp"
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace stgcc::core {
@@ -39,9 +40,9 @@ void CodingProblem::build(const unf::PrefixConsistency& consistency) {
     }
 
     const std::size_t q = events_.size();
-    preds_.assign(q, BitVec(q));
-    succs_.assign(q, BitVec(q));
-    confs_.assign(q, BitVec(q));
+    preds_ = util::BitMatrix(arena_, q, q);
+    succs_ = util::BitMatrix(arena_, q, q);
+    confs_ = util::BitMatrix(arena_, q, q);
     signal_.resize(q);
     delta_.resize(q);
 
@@ -55,12 +56,12 @@ void CodingProblem::build(const unf::PrefixConsistency& consistency) {
             // Causal predecessors of a non-cut-off event are non-cut-off
             // (cut-off events have no successors in the prefix).
             STGCC_ASSERT(dense_of[f] != SIZE_MAX);
-            preds_[i].set(dense_of[f]);
-            succs_[dense_of[f]].set(i);
+            preds_.set(i, dense_of[f]);
+            succs_.set(dense_of[f], i);
         });
         prefix.conflicts(e).for_each([&](std::size_t g) {
             if (g < dense_of.size() && dense_of[g] != SIZE_MAX)
-                confs_[i].set(dense_of[g]);
+                confs_.set(i, dense_of[g]);
         });
     }
 
@@ -79,6 +80,10 @@ void CodingProblem::build(const unf::PrefixConsistency& consistency) {
                        static_cast<std::uint32_t>(i)});
     }
 
+    obs::gauge("mem.arena_bytes")
+        .set(static_cast<std::int64_t>(util::Arena::process_live_bytes()));
+    obs::gauge("mem.arena_peak_bytes")
+        .set(static_cast<std::int64_t>(util::Arena::process_peak_bytes()));
     span.attr("dense_events", q);
     span.attr("conflict_free", conflict_free_);
 }

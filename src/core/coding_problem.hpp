@@ -3,8 +3,9 @@
 // A CodingProblem densifies the non-cut-off events of a prefix (cut-off
 // variables are pinned to 0, which "effectively removes some of the
 // variables" -- paper, section 3) and caches, per dense event index:
-//   * its strict causal predecessors, successors and conflict set as bit
-//     vectors over dense indices (the Theorem 1 closure rules),
+//   * its strict causal predecessors, successors and conflict set as rows of
+//     three arena-backed bit matrices over dense indices (the Theorem 1
+//     closure rules), exposed as BitSpan row views,
 //   * its signal and code contribution (+1 for z+, -1 for z-).
 // It also records the derived initial code v0 and whether the STG is
 // dynamically conflict-free (enabling the section 7 optimisation).
@@ -15,6 +16,8 @@
 #include "stg/stg.hpp"
 #include "unfolding/occurrence_net.hpp"
 #include "unfolding/prefix_checks.hpp"
+#include "util/arena.hpp"
+#include "util/bit_matrix.hpp"
 
 namespace stgcc::core {
 
@@ -57,10 +60,14 @@ public:
         return events_[dense];
     }
 
-    [[nodiscard]] const BitVec& preds(std::size_t dense) const { return preds_[dense]; }
-    [[nodiscard]] const BitVec& succs(std::size_t dense) const { return succs_[dense]; }
-    [[nodiscard]] const BitVec& conflicts(std::size_t dense) const {
-        return confs_[dense];
+    [[nodiscard]] BitSpan preds(std::size_t dense) const {
+        return preds_.row(dense);
+    }
+    [[nodiscard]] BitSpan succs(std::size_t dense) const {
+        return succs_.row(dense);
+    }
+    [[nodiscard]] BitSpan conflicts(std::size_t dense) const {
+        return confs_.row(dense);
     }
 
     [[nodiscard]] stg::SignalId signal(std::size_t dense) const {
@@ -109,7 +116,8 @@ private:
     const stg::Stg* stg_;
     const unf::Prefix* prefix_;
     std::vector<unf::EventId> events_;
-    std::vector<BitVec> preds_, succs_, confs_;
+    util::Arena arena_;                       ///< owns the closure slabs
+    util::BitMatrix preds_, succs_, confs_;   ///< q x q rows in arena_
     std::vector<stg::SignalId> signal_;
     std::vector<int> delta_;
     std::vector<SignalSlack> initial_slacks_;

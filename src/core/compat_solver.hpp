@@ -32,6 +32,7 @@
 #include "cache/clause_store.hpp"
 #include "core/coding_problem.hpp"
 #include "sched/cancellation.hpp"
+#include "sched/workspace.hpp"
 #include "stg/results.hpp"
 
 namespace stgcc::core {
@@ -90,6 +91,23 @@ struct SearchOutcome {
 
 class CompatSolver {
 public:
+    struct SignalState {
+        int fixed = 0;      ///< contribution of assigned variables to D_z
+        int pos_slack = 0;  ///< number of unassigned vars with coefficient +1
+        int neg_slack = 0;  ///< number of unassigned vars with coefficient -1
+    };
+
+    /// The solver's mutable search state, checked out of the per-worker
+    /// WorkspacePool at the top of every solve() and fully re-initialised
+    /// there -- so per-instance construction pays no allocation once the
+    /// pool is warm, and pooling cannot change any observable result.
+    struct Workspace {
+        std::vector<std::int8_t> val[2];
+        std::vector<SignalState> signals;
+        std::vector<VarRef> trail;
+        std::vector<std::pair<VarRef, std::int8_t>> pending;
+    };
+
     explicit CompatSolver(const CodingProblem& problem, SearchOptions opts = {});
 
     /// Run the search.  `accept` is consulted at every candidate pair that
@@ -101,12 +119,6 @@ private:
     static constexpr int kUnassigned = -1;
     /// Cancellation poll period: every 1024 search nodes.
     static constexpr std::size_t kCancelPollMask = 1023;
-
-    struct SignalState {
-        int fixed = 0;      ///< contribution of assigned variables to D_z
-        int pos_slack = 0;  ///< number of unassigned vars with coefficient +1
-        int neg_slack = 0;  ///< number of unassigned vars with coefficient -1
-    };
 
     [[nodiscard]] int coefficient(int side, std::size_t idx) const {
         return side == 0 ? problem_->delta(idx) : -problem_->delta(idx);
@@ -126,13 +138,11 @@ private:
     bool cancelled_ = false;
     std::size_t first_diff_ = 0;  ///< current outer-loop index d
 
-    std::vector<std::int8_t> val_[2];
-    // Per-signal interval state, seeded from the problem's shared template
-    // (CodingProblem::initial_slacks); the per-signal variable lists stay
-    // read-only in the problem and are never copied.
-    std::vector<SignalState> signals_;
-    std::vector<VarRef> trail_;
-    std::vector<std::pair<VarRef, std::int8_t>> pending_;
+    // Pooled search state; valid only inside solve() (the lease lives on
+    // solve()'s stack).  The per-signal interval state is seeded from the
+    // problem's shared template (CodingProblem::initial_slacks); the
+    // per-signal variable lists stay read-only in the problem.
+    Workspace* ws_ = nullptr;
     stg::CheckStats stats_;
     SearchOutcome outcome_;
 };

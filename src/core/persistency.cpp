@@ -43,7 +43,7 @@ PersistencyResult check_persistency(const CodingProblem& problem) {
                         stg.signal_kind(stg.label(te).signal)))
                     continue;
                 // Joint environment: both presets marked simultaneously?
-                BitVec cfg = prefix.local_config(e);
+                BitVec cfg(prefix.local_config(e));
                 cfg |= prefix.local_config(f);
                 cfg.reset(e);
                 cfg.reset(f);

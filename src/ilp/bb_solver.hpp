@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ilp/model.hpp"
+#include "sched/workspace.hpp"
 
 namespace stgcc::ilp {
 
@@ -33,6 +34,21 @@ using LeafCallback = std::function<bool(const std::vector<int>&)>;
 
 class BBSolver {
 public:
+    struct TrailEntry {
+        VarId var;
+        int old_lo, old_hi;
+    };
+
+    /// Mutable search state, checked out of the per-worker WorkspacePool at
+    /// the top of solve() and fully re-initialised there (pooling cannot
+    /// change any observable result).
+    struct Workspace {
+        std::vector<int> lo, hi;
+        std::vector<TrailEntry> trail;
+        std::vector<std::uint32_t> dirty;
+        std::vector<char> in_dirty;
+    };
+
     explicit BBSolver(const Model& model, SolveOptions opts = {})
         : model_(&model), opts_(opts) {}
 
@@ -44,11 +60,6 @@ public:
     [[nodiscard]] const SolveStats& stats() const noexcept { return stats_; }
 
 private:
-    struct TrailEntry {
-        VarId var;
-        int old_lo, old_hi;
-    };
-
     bool tighten(VarId v, int lo, int hi);
     bool propagate(std::size_t first_dirty_constraint);
     bool propagate_constraint(const Constraint& c);
@@ -58,10 +69,7 @@ private:
     const Model* model_;
     SolveOptions opts_;
     SolveStats stats_;
-    std::vector<int> lo_, hi_;
-    std::vector<TrailEntry> trail_;
-    std::vector<std::uint32_t> dirty_;
-    std::vector<char> in_dirty_;
+    Workspace* ws_ = nullptr;  ///< valid only inside solve()
 };
 
 }  // namespace stgcc::ilp

@@ -56,10 +56,11 @@ constexpr const char* kBuiltinCounters[] = {
     "cache.clauses.replayed", "cache.certificates.csc_from_usc",
     "cache.result.hits",      "cache.result.misses",
     "cache.result.stores",    "cache.result.evicted",
+    "sched.workspace_reuse",
 };
 constexpr const char* kBuiltinGauges[] = {
     "unfold.pe_queue_peak", "unfold.co_pairs", "sg.hash_load_permille",
-    "sched.workers"};
+    "sched.workers",        "mem.arena_bytes", "mem.arena_peak_bytes"};
 constexpr const char* kBuiltinHistograms[] = {"unfold.pe_queue_depth"};
 }  // namespace
 

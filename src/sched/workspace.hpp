@@ -1,0 +1,106 @@
+// stgcc -- pooled solver workspaces (docs/MEMORY.md, docs/PARALLELISM.md).
+//
+// The per-signal CSC fan-out and the orientation-parallel normalcy check
+// construct one solver per instance; before this pool each instance
+// re-allocated its full mutable state (assignment arrays, trail, per-signal
+// intervals, pending queue).  A WorkspacePool<T> keeps retired workspaces on
+// per-worker free lists: acquire() hands back a previously used T when one
+// is available (counted by the `sched.workspace_reuse` counter) and
+// default-constructs otherwise.
+//
+// Determinism: solvers fully re-initialise every workspace field at the top
+// of solve(), so reuse never leaks state between instances -- verdicts and
+// witnesses are byte-identical with and without pooling, at any --jobs.
+// Free lists are sharded by a stable per-thread slot (same dense thread
+// enumeration as the obs counters), so concurrent workers rarely contend on
+// a shard mutex and a worker tends to get back the workspace it just
+// retired (warm caches).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace stgcc::sched {
+
+template <typename T>
+class WorkspacePool {
+public:
+    /// RAII checkout: returns the workspace to the pool on destruction.
+    class Lease {
+    public:
+        Lease(WorkspacePool* pool, std::unique_ptr<T> item) noexcept
+            : pool_(pool), item_(std::move(item)) {}
+        Lease(Lease&& o) noexcept = default;
+        Lease& operator=(Lease&&) = delete;
+        Lease(const Lease&) = delete;
+        Lease& operator=(const Lease&) = delete;
+        ~Lease() {
+            if (item_) pool_->release(std::move(item_));
+        }
+
+        [[nodiscard]] T& operator*() const noexcept { return *item_; }
+        [[nodiscard]] T* operator->() const noexcept { return item_.get(); }
+        [[nodiscard]] T* get() const noexcept { return item_.get(); }
+
+    private:
+        WorkspacePool* pool_;
+        std::unique_ptr<T> item_;
+    };
+
+    /// Check a workspace out of the calling worker's shard (or a fresh one
+    /// when the shard is empty).  The caller must re-initialise any state it
+    /// reads -- contents are whatever the previous user left behind.
+    [[nodiscard]] Lease acquire() {
+        Shard& s = shard();
+        std::unique_ptr<T> item;
+        {
+            std::lock_guard<std::mutex> lock(s.mu);
+            if (!s.free.empty()) {
+                item = std::move(s.free.back());
+                s.free.pop_back();
+            }
+        }
+        if (item) {
+            obs::counter("sched.workspace_reuse").add();
+        } else {
+            item = std::make_unique<T>();
+        }
+        return Lease(this, std::move(item));
+    }
+
+    /// The process-wide pool for workspace type T.
+    [[nodiscard]] static WorkspacePool& global() {
+        static WorkspacePool pool;
+        return pool;
+    }
+
+private:
+    static constexpr unsigned kShards = 16;
+
+    struct alignas(64) Shard {
+        std::mutex mu;
+        std::vector<std::unique_ptr<T>> free;
+    };
+
+    /// Stable per-thread shard slot (dense thread enumeration mod kShards).
+    Shard& shard() noexcept {
+        static std::atomic<unsigned> next{0};
+        thread_local const unsigned slot =
+            next.fetch_add(1, std::memory_order_relaxed) % kShards;
+        return shards_[slot];
+    }
+
+    void release(std::unique_ptr<T> item) {
+        Shard& s = shard();
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.free.push_back(std::move(item));
+    }
+
+    Shard shards_[kShards];
+};
+
+}  // namespace stgcc::sched

@@ -4,7 +4,7 @@
 
 namespace stgcc::unf {
 
-bool is_configuration(const Prefix& prefix, const BitVec& events) {
+bool is_configuration(const Prefix& prefix, BitSpan events) {
     bool ok = true;
     events.for_each([&](std::size_t e) {
         if (!ok || e >= prefix.num_events()) {
@@ -19,7 +19,7 @@ bool is_configuration(const Prefix& prefix, const BitVec& events) {
     return ok;
 }
 
-std::vector<ConditionId> cut_of(const Prefix& prefix, const BitVec& events) {
+std::vector<ConditionId> cut_of(const Prefix& prefix, BitSpan events) {
     std::vector<bool> marked(prefix.num_conditions(), false);
     for (ConditionId b : prefix.min_conditions()) marked[b] = true;
     events.for_each([&](std::size_t e) {
@@ -38,13 +38,13 @@ std::vector<ConditionId> cut_of(const Prefix& prefix, const BitVec& events) {
     return cut;
 }
 
-petri::Marking marking_of(const Prefix& prefix, const BitVec& events) {
+petri::Marking marking_of(const Prefix& prefix, BitSpan events) {
     petri::Marking m(prefix.system().net().num_places());
     for (ConditionId b : cut_of(prefix, events)) m.add(prefix.condition(b).place);
     return m;
 }
 
-std::vector<EventId> linearize(const Prefix& prefix, const BitVec& events) {
+std::vector<EventId> linearize(const Prefix& prefix, BitSpan events) {
     std::vector<EventId> order;
     events.for_each([&](std::size_t e) { order.push_back(static_cast<EventId>(e)); });
     // Sorting by (Foata level, id) respects causality: a cause always has a
@@ -57,7 +57,7 @@ std::vector<EventId> linearize(const Prefix& prefix, const BitVec& events) {
     return order;
 }
 
-petri::ParikhVector parikh_of(const Prefix& prefix, const BitVec& events) {
+petri::ParikhVector parikh_of(const Prefix& prefix, BitSpan events) {
     petri::ParikhVector x(prefix.system().net().num_transitions(), 0);
     events.for_each(
         [&](std::size_t e) { ++x[prefix.event(static_cast<EventId>(e)).transition]; });
@@ -65,7 +65,7 @@ petri::ParikhVector parikh_of(const Prefix& prefix, const BitVec& events) {
 }
 
 std::vector<petri::TransitionId> firing_sequence_of(const Prefix& prefix,
-                                                    const BitVec& events) {
+                                                    BitSpan events) {
     std::vector<petri::TransitionId> seq;
     for (EventId e : linearize(prefix, events))
         seq.push_back(prefix.event(e).transition);

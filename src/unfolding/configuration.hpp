@@ -1,10 +1,11 @@
 // stgcc -- operations on configurations of a branching-process prefix.
 //
-// A configuration is represented as a bit vector over the prefix's events
-// (width may exceed num_events(); trailing bits must be clear).  These
-// helpers implement Cut(C), Mark(C), Parikh vectors and linearisation into
-// firing sequences of the original net -- the witness "execution paths"
-// the paper produces.
+// A configuration is represented as a bit set over the prefix's events,
+// exactly num_events() bits wide (make_event_set() hands out the right
+// width), passed as a non-owning BitSpan so frozen relation rows and owned
+// BitVecs use the same entry points.  These helpers implement Cut(C),
+// Mark(C), Parikh vectors and linearisation into firing sequences of the
+// original net -- the witness "execution paths" the paper produces.
 #pragma once
 
 #include <vector>
@@ -14,25 +15,25 @@
 namespace stgcc::unf {
 
 /// True when `events` is causally closed and conflict-free.
-[[nodiscard]] bool is_configuration(const Prefix& prefix, const BitVec& events);
+[[nodiscard]] bool is_configuration(const Prefix& prefix, BitSpan events);
 
 /// Cut(C) = (Min(ON) u C*) \ *C : the conditions marked after executing C.
 [[nodiscard]] std::vector<ConditionId> cut_of(const Prefix& prefix,
-                                              const BitVec& events);
+                                              BitSpan events);
 
 /// Mark(C): the reachable marking of the original net represented by C.
-[[nodiscard]] petri::Marking marking_of(const Prefix& prefix, const BitVec& events);
+[[nodiscard]] petri::Marking marking_of(const Prefix& prefix, BitSpan events);
 
 /// Events of C in a topological (causality-respecting) order.
 [[nodiscard]] std::vector<EventId> linearize(const Prefix& prefix,
-                                             const BitVec& events);
+                                             BitSpan events);
 
 /// Parikh vector of C over the transitions of the original net.
 [[nodiscard]] petri::ParikhVector parikh_of(const Prefix& prefix,
-                                            const BitVec& events);
+                                            BitSpan events);
 
 /// A firing sequence of the original net executing C from M0.
 [[nodiscard]] std::vector<petri::TransitionId> firing_sequence_of(
-    const Prefix& prefix, const BitVec& events);
+    const Prefix& prefix, BitSpan events);
 
 }  // namespace stgcc::unf

@@ -1,20 +1,35 @@
 // stgcc -- occurrence nets / branching-process prefixes.
 //
-// A Prefix is a finite branching process (B, E, G, h) of a net system,
-// produced by the Unfolder.  Besides the bipartite structure it stores the
-// derived relations the verification algorithms need:
-//   * per event, its local configuration [e] as a bit vector over events,
+// A branching process (B, E, G, h) of a net system lives in two phases
+// (docs/MEMORY.md):
+//
+//   * PrefixBuilder is the mutable growth representation the Unfolder
+//     appends to: per-entity structs with std::vector adjacency and
+//     power-of-two-capacity BitVec relation rows, cheap to extend one event
+//     at a time.
+//   * Prefix is the immutable frozen representation everything downstream
+//     reads: adjacency (presets, postsets, consumers) in flat CSR arrays,
+//     per-entity scalar columns, and the causality / conflict / successor
+//     relations as row-slices of three contiguous bit-matrix slabs -- all
+//     carved from one util::Arena owned by the Prefix.  Relation rows are
+//     exactly num_events() bits wide.
+//
+// Besides the bipartite structure both phases expose the derived relations
+// the verification algorithms need:
+//   * per event, its local configuration [e] as a bit row over events,
 //   * per event, the set of events it is in (structural) conflict with,
 //   * per event, its Foata level (causal depth),
 //   * the cut-off flag and companion event of the ERV algorithm.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "petri/net_system.hpp"
+#include "util/arena.hpp"
+#include "util/bit_matrix.hpp"
 #include "util/bitvec.hpp"
 
 namespace stgcc::unf {
@@ -24,16 +39,20 @@ using EventId = std::uint32_t;
 inline constexpr ConditionId kNoCondition = static_cast<ConditionId>(-1);
 inline constexpr EventId kNoEvent = static_cast<EventId>(-1);
 
+/// Read-only view of one condition of a frozen Prefix.  Returned by value;
+/// binding `const Condition&` to the result is fine (lifetime extension),
+/// and the spans point into the prefix's arena, valid as long as the prefix.
 struct Condition {
     petri::PlaceId place = petri::kNoPlace;  ///< h(b)
     EventId producer = kNoEvent;             ///< unique producing event; kNoEvent for minimal conditions
-    std::vector<EventId> consumers;          ///< events with b in their preset
+    std::span<const EventId> consumers;      ///< events with b in their preset
 };
 
+/// Read-only view of one event of a frozen Prefix (same conventions).
 struct Event {
     petri::TransitionId transition = petri::kNoTransition;  ///< h(e)
-    std::vector<ConditionId> preset;
-    std::vector<ConditionId> postset;
+    std::span<const ConditionId> preset;
+    std::span<const ConditionId> postset;
     bool cutoff = false;
     /// For cut-off events: the event f with Mark([f]) = Mark([e]) that made
     /// this a cut-off, or kNoEvent when the companion is the (virtual) empty
@@ -42,9 +61,31 @@ struct Event {
     std::uint32_t foata_level = 1;  ///< 1 + max level of causal predecessors
 };
 
-class Prefix {
+class Prefix;
+
+/// Mutable growth phase, used only during unfolding.  Relation rows are
+/// BitVec of the current event *capacity* (power-of-two doubling), with all
+/// bits at or above num_events() clear; freeze() truncates them to the exact
+/// width.  The builder is cheap to append to and expensive to read at scale
+/// -- downstream code always works on the frozen Prefix.
+class PrefixBuilder {
 public:
-    explicit Prefix(const petri::NetSystem& sys) : sys_(&sys) {}
+    struct Condition {
+        petri::PlaceId place = petri::kNoPlace;
+        EventId producer = kNoEvent;
+        std::vector<EventId> consumers;
+    };
+
+    struct Event {
+        petri::TransitionId transition = petri::kNoTransition;
+        std::vector<ConditionId> preset;
+        std::vector<ConditionId> postset;
+        bool cutoff = false;
+        EventId companion = kNoEvent;
+        std::uint32_t foata_level = 1;
+    };
+
+    explicit PrefixBuilder(const petri::NetSystem& sys) : sys_(&sys) {}
 
     [[nodiscard]] const petri::NetSystem& system() const noexcept { return *sys_; }
 
@@ -61,7 +102,8 @@ public:
         return events_[e];
     }
 
-    /// Local configuration [e] as a bit vector over events (includes e).
+    /// Local configuration [e] as a bit row over events (includes e).
+    /// Width is the current capacity (>= num_events()); trailing bits clear.
     [[nodiscard]] const BitVec& local_config(EventId e) const {
         STGCC_REQUIRE(e < local_config_.size());
         return local_config_[e];
@@ -96,20 +138,6 @@ public:
         return min_conditions_;
     }
 
-    /// An all-zero event set with the same width as the internal relation
-    /// bit vectors; use for building configurations to pass to the helpers
-    /// in configuration.hpp.
-    [[nodiscard]] BitVec make_event_set() const {
-        return BitVec(std::max<std::size_t>(event_capacity_, 1));
-    }
-
-    /// Dot/debug rendering: event label like "e5:dsr+" using original names.
-    [[nodiscard]] std::string event_name(EventId e) const;
-    [[nodiscard]] std::string condition_name(ConditionId b) const;
-
-    /// Graphviz dot text of the prefix (cut-offs drawn double-boxed).
-    [[nodiscard]] std::string to_dot() const;
-
     // --- construction interface (used by Unfolder) --------------------------
 
     ConditionId add_condition(petri::PlaceId place, EventId producer);
@@ -123,6 +151,11 @@ public:
         events_[e].postset = std::move(postset);
     }
 
+    /// Produce the immutable flat representation.  The builder is left
+    /// untouched and may keep growing (the property tests compare both
+    /// phases); the result owns all its storage.
+    [[nodiscard]] Prefix freeze() const;
+
 private:
     void ensure_event_capacity(std::size_t n);
 
@@ -134,6 +167,122 @@ private:
     std::vector<BitVec> succ_;          // width = event capacity
     std::vector<ConditionId> min_conditions_;
     std::size_t event_capacity_ = 0;
+    std::size_t num_cutoffs_ = 0;
+};
+
+/// Immutable frozen prefix: CSR adjacency, per-entity scalar columns and
+/// three relation bit-matrix slabs, all allocated from one owned arena.
+/// Move-only; moving keeps every span and row view valid (arena slabs stay
+/// put on the heap).
+class Prefix {
+public:
+    Prefix(Prefix&&) noexcept = default;
+    Prefix& operator=(Prefix&&) noexcept = default;
+    Prefix(const Prefix&) = delete;
+    Prefix& operator=(const Prefix&) = delete;
+
+    [[nodiscard]] const petri::NetSystem& system() const noexcept { return *sys_; }
+
+    [[nodiscard]] std::size_t num_conditions() const noexcept { return num_conditions_; }
+    [[nodiscard]] std::size_t num_events() const noexcept { return num_events_; }
+    [[nodiscard]] std::size_t num_cutoffs() const noexcept { return num_cutoffs_; }
+
+    [[nodiscard]] Condition condition(ConditionId b) const {
+        STGCC_REQUIRE(b < num_conditions_);
+        return Condition{
+            cond_place_[b], cond_producer_[b],
+            cons_dat_.subspan(cons_off_[b], cons_off_[b + 1] - cons_off_[b])};
+    }
+    [[nodiscard]] Event event(EventId e) const {
+        STGCC_REQUIRE(e < num_events_);
+        return Event{
+            ev_transition_[e],
+            pre_dat_.subspan(pre_off_[e], pre_off_[e + 1] - pre_off_[e]),
+            post_dat_.subspan(post_off_[e], post_off_[e + 1] - post_off_[e]),
+            ev_cutoff_[e] != 0,
+            ev_companion_[e],
+            ev_foata_[e]};
+    }
+
+    /// Local configuration [e] as a bit row over events (includes e).
+    /// Exactly num_events() bits wide; valid as long as the prefix.
+    [[nodiscard]] BitSpan local_config(EventId e) const {
+        STGCC_REQUIRE(e < num_events_);
+        return local_cfg_.row(e);
+    }
+
+    /// Events in structural conflict with e (in either direction).
+    [[nodiscard]] BitSpan conflicts(EventId e) const {
+        STGCC_REQUIRE(e < num_events_);
+        return conflict_.row(e);
+    }
+
+    /// Causal successor set of e: all events g with e in [g] (includes e).
+    [[nodiscard]] BitSpan successors(EventId e) const {
+        STGCC_REQUIRE(e < num_events_);
+        return succ_.row(e);
+    }
+
+    /// True when f is a causal predecessor of e (f < e, strict).
+    [[nodiscard]] bool causes(EventId f, EventId e) const {
+        return f != e && local_config(e).test(f);
+    }
+
+    /// True when e and f are concurrent (can occur in one configuration,
+    /// neither causing the other).
+    [[nodiscard]] bool concurrent(EventId e, EventId f) const {
+        return e != f && !local_config(e).test(f) && !local_config(f).test(e) &&
+               !conflicts(e).test(f);
+    }
+
+    /// Minimal conditions (Min(ON)), representing the initial marking.
+    [[nodiscard]] std::span<const ConditionId> min_conditions() const noexcept {
+        return min_conditions_;
+    }
+
+    /// An all-zero event set of exactly num_events() bits -- the width of
+    /// every relation row; use for building configurations to pass to the
+    /// helpers in configuration.hpp.
+    [[nodiscard]] BitVec make_event_set() const { return BitVec(num_events_); }
+
+    /// Arena footprint of the frozen representation (bench_layout's
+    /// bytes-per-event numerator).
+    [[nodiscard]] std::size_t arena_bytes() const noexcept {
+        return arena_.bytes_allocated();
+    }
+
+    /// Dot/debug rendering: event label like "e5:dsr+" using original names.
+    [[nodiscard]] std::string event_name(EventId e) const;
+    [[nodiscard]] std::string condition_name(ConditionId b) const;
+
+    /// Graphviz dot text of the prefix (cut-offs drawn double-boxed).
+    [[nodiscard]] std::string to_dot() const;
+
+private:
+    friend class PrefixBuilder;
+    Prefix() = default;
+
+    const petri::NetSystem* sys_ = nullptr;
+    util::Arena arena_;
+
+    std::span<const petri::PlaceId> cond_place_;
+    std::span<const EventId> cond_producer_;
+    std::span<const std::uint32_t> cons_off_;  // size num_conditions + 1
+    std::span<const EventId> cons_dat_;
+
+    std::span<const petri::TransitionId> ev_transition_;
+    std::span<const std::uint32_t> ev_foata_;
+    std::span<const EventId> ev_companion_;
+    std::span<const std::uint8_t> ev_cutoff_;
+    std::span<const std::uint32_t> pre_off_, post_off_;  // size num_events + 1
+    std::span<const ConditionId> pre_dat_, post_dat_;
+
+    std::span<const ConditionId> min_conditions_;
+
+    util::BitMatrix local_cfg_, conflict_, succ_;  // rows in arena_
+
+    std::size_t num_conditions_ = 0;
+    std::size_t num_events_ = 0;
     std::size_t num_cutoffs_ = 0;
 };
 

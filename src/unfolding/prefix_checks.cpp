@@ -8,7 +8,7 @@ using stg::Polarity;
 using stg::SignalId;
 
 std::vector<int> change_vector_of(const stg::Stg& stg, const Prefix& prefix,
-                                  const BitVec& events) {
+                                  BitSpan events) {
     std::vector<int> v(stg.num_signals(), 0);
     events.for_each([&](std::size_t e) {
         const petri::TransitionId t = prefix.event(static_cast<EventId>(e)).transition;
@@ -21,13 +21,13 @@ std::vector<int> change_vector_of(const stg::Stg& stg, const Prefix& prefix,
 
 namespace {
 
-/// Shared implementation; `co_rows` (events concurrent with e) is optional
-/// -- without it, rows are derived on the fly from the prefix relations via
-/// word-parallel set subtraction, which is equivalent to (and replaces) the
-/// historical pairwise Prefix::concurrent scan.
+/// Shared implementation; `co_rows` (row e = events concurrent with e) is
+/// optional -- without it, rows are derived on the fly from the prefix
+/// relations via word-parallel set subtraction, which is equivalent to (and
+/// replaces) the historical pairwise Prefix::concurrent scan.
 PrefixConsistency analyze_consistency_impl(const stg::Stg& stg,
                                            const Prefix& prefix,
-                                           const std::vector<BitVec>* co_rows) {
+                                           const util::BitMatrix* co_rows) {
     stg.require_dummy_free();
     PrefixConsistency result;
     result.initial_code = stg::Code(stg.num_signals());
@@ -54,7 +54,7 @@ PrefixConsistency analyze_consistency_impl(const stg::Stg& stg,
                 later.reset(e);
                 BitVec cand = later;
                 if (co_rows) {
-                    cand &= (*co_rows)[e];
+                    cand &= co_rows->row(e);
                 } else {
                     cand.subtract(prefix.local_config(e));
                     cand.subtract(prefix.successors(e));
@@ -150,7 +150,7 @@ PrefixConsistency analyze_consistency(const stg::Stg& stg, const Prefix& prefix)
 }
 
 PrefixConsistency analyze_consistency(const stg::Stg& stg, const Prefix& prefix,
-                                      const std::vector<BitVec>& co_rows) {
+                                      const util::BitMatrix& co_rows) {
     return analyze_consistency_impl(stg, prefix, &co_rows);
 }
 

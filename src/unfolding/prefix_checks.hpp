@@ -8,6 +8,7 @@
 
 #include "stg/stg.hpp"
 #include "unfolding/occurrence_net.hpp"
+#include "util/bit_matrix.hpp"
 
 namespace stgcc::unf {
 
@@ -25,13 +26,13 @@ struct PrefixConsistency {
 [[nodiscard]] PrefixConsistency analyze_consistency(const stg::Stg& stg,
                                                     const Prefix& prefix);
 
-/// Same analysis reusing precomputed co-relation rows (`co_rows[e]` = bit
-/// set of events concurrent with e, width of Prefix::make_event_set()), as
-/// kept by cache::PrefixArtifacts.  Produces exactly the same result and
-/// diagnosis strings as the two-argument overload.
-[[nodiscard]] PrefixConsistency analyze_consistency(
-    const stg::Stg& stg, const Prefix& prefix,
-    const std::vector<BitVec>& co_rows);
+/// Same analysis reusing a precomputed co-relation matrix (row e = bit set
+/// of events concurrent with e, num_events() columns), as kept by
+/// cache::PrefixArtifacts.  Produces exactly the same result and diagnosis
+/// strings as the two-argument overload.
+[[nodiscard]] PrefixConsistency analyze_consistency(const stg::Stg& stg,
+                                                    const Prefix& prefix,
+                                                    const util::BitMatrix& co_rows);
 
 /// True when the STG is free from dynamic conflicts, detected on the prefix
 /// as: no condition has more than one consumer event.  For complete
@@ -39,9 +40,9 @@ struct PrefixConsistency {
 /// represented).
 [[nodiscard]] bool is_dynamically_conflict_free(const Prefix& prefix);
 
-/// Signal change vector of a configuration given as a bit vector of events.
+/// Signal change vector of a configuration given as a bit set of events.
 [[nodiscard]] std::vector<int> change_vector_of(const stg::Stg& stg,
                                                 const Prefix& prefix,
-                                                const BitVec& events);
+                                                BitSpan events);
 
 }  // namespace stgcc::unf

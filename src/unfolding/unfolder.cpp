@@ -24,7 +24,7 @@ public:
     UnfolderImpl(const petri::NetSystem& sys, UnfoldOptions opts)
         : sys_(sys), opts_(opts), prefix_(sys) {}
 
-    Prefix run() {
+    PrefixBuilder run() {
         obs::Span span("unfold");
         seed_initial_conditions();
         for (ConditionId b : prefix_.min_conditions()) extensions_from(b);
@@ -41,7 +41,7 @@ public:
             insert_event(std::move(cand));
         }
         finish_instrumentation(span);
-        return std::move(prefix_);
+        return std::move(prefix_);  // builder; callers freeze as needed
     }
 
 private:
@@ -157,7 +157,7 @@ private:
     ///   co(b) = (intersection of co(c) for c in *e)  u  (e* \ {b}).
     void compute_co(ConditionId b, EventId e,
                     const std::vector<ConditionId>& siblings) {
-        const Event& ev = prefix_.event(e);
+        const auto& ev = prefix_.event(e);
         BitVec co(cond_capacity_);
         bool first = true;
         for (ConditionId c : ev.preset) {
@@ -297,7 +297,7 @@ private:
 
     const petri::NetSystem& sys_;
     UnfoldOptions opts_;
-    Prefix prefix_;
+    PrefixBuilder prefix_;
     std::vector<BitVec> co_;  // concurrency relation over conditions
     std::size_t cond_capacity_ = 0;
     std::vector<std::vector<ConditionId>> by_place_;
@@ -308,12 +308,25 @@ private:
 
 }  // namespace
 
-Prefix unfold(const petri::NetSystem& sys, UnfoldOptions opts) {
+namespace {
+
+void validate_presets(const petri::NetSystem& sys) {
     for (petri::TransitionId t = 0; t < sys.net().num_transitions(); ++t)
         if (sys.net().pre(t).empty())
             throw ModelError("unfolding requires every transition to have a "
                              "non-empty preset (transition " +
                              sys.net().transition_name(t) + ")");
+}
+
+}  // namespace
+
+Prefix unfold(const petri::NetSystem& sys, UnfoldOptions opts) {
+    validate_presets(sys);
+    return UnfolderImpl(sys, opts).run().freeze();
+}
+
+PrefixBuilder unfold_builder(const petri::NetSystem& sys, UnfoldOptions opts) {
+    validate_presets(sys);
     return UnfolderImpl(sys, opts).run();
 }
 

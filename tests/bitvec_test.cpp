@@ -5,6 +5,9 @@
 #include <random>
 #include <set>
 
+#include "util/arena.hpp"
+#include "util/bit_matrix.hpp"
+
 namespace stgcc {
 namespace {
 
@@ -177,6 +180,100 @@ TEST_P(BitVecRandomTest, OpsMatchSetSemantics) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BitVecRandomTest, ::testing::Range(0u, 20u));
+
+TEST(BitSpan, ViewsAndRoundTrips) {
+    BitVec v(130);
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v.set(129);
+    const BitSpan s = v;  // implicit BitVec -> BitSpan
+    EXPECT_EQ(s.size(), 130u);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_TRUE(s.test(63) && s.test(64));
+    EXPECT_EQ(s.find_first(), 0u);
+    EXPECT_EQ(s.find_next(64), 129u);
+    const BitVec copy(s);  // explicit BitSpan -> BitVec
+    EXPECT_TRUE(copy == v);
+    EXPECT_EQ(s.hash(), v.span().hash());
+    std::size_t visited = 0;
+    s.for_each([&](std::size_t) { ++visited; });
+    EXPECT_EQ(visited, 4u);
+}
+
+TEST(BitSpan, SetOperationsMatchBitVec) {
+    BitVec a(100), b(100);
+    a.set(3);
+    a.set(50);
+    a.set(99);
+    b.set(50);
+    b.set(80);
+    EXPECT_TRUE(a.intersects(b.span()));
+    EXPECT_FALSE(BitVec(100).span().intersects(a));
+    BitVec c = a;
+    c &= b.span();
+    EXPECT_EQ(c.count(), 1u);
+    EXPECT_TRUE(c.subset_of(a));
+    c |= a.span();
+    EXPECT_TRUE(c == a);
+    c.subtract(b);
+    EXPECT_FALSE(c.test(50));
+}
+
+TEST(MutBitSpan, CopyPrefixTruncatesWideRows) {
+    // The freeze() path: a capacity-width builder row (no bits past the
+    // logical width) copied into an exact-width frozen row.
+    BitVec wide(256);
+    wide.set(0);
+    wide.set(65);
+    wide.set(99);
+    util::Arena arena;
+    util::BitMatrix m(arena, 2, 100);
+    m.mut_row(0).copy_prefix_of(wide);
+    EXPECT_EQ(m.row(0).count(), 3u);
+    EXPECT_TRUE(m.row(0).test(65));
+    EXPECT_FALSE(m.row(1).any());  // arena zero-initialises
+    m.mut_row(1).set_all();
+    EXPECT_EQ(m.row(1).count(), 100u);  // tail bits masked off
+    m.mut_row(1).subtract(m.row(0));
+    EXPECT_EQ(m.row(1).count(), 97u);
+}
+
+TEST(Arena, AccountsBytesAndAlignment) {
+    const std::uint64_t live0 = util::Arena::process_live_bytes();
+    {
+        util::Arena arena;
+        auto* p = arena.alloc_array<std::uint64_t>(10);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % util::Arena::kAlignment,
+                  0u);
+        for (int i = 0; i < 10; ++i) EXPECT_EQ(p[i], 0u);
+        EXPECT_GE(arena.bytes_allocated(), 80u);
+        // A huge request gets its own slab, still aligned and accounted.
+        auto* big = arena.alloc_array<std::uint64_t>(100'000);
+        EXPECT_EQ(
+            reinterpret_cast<std::uintptr_t>(big) % util::Arena::kAlignment, 0u);
+        EXPECT_GT(util::Arena::process_live_bytes(), live0);
+        EXPECT_GE(util::Arena::process_peak_bytes(),
+                  util::Arena::process_live_bytes());
+        EXPECT_EQ(arena.alloc_array<int>(0), nullptr);
+    }
+    // Destruction releases the slabs back out of the live count.
+    EXPECT_EQ(util::Arena::process_live_bytes(), live0);
+}
+
+TEST(BitMatrix, RowSlicesAreIndependent) {
+    util::Arena arena;
+    util::BitMatrix m(arena, 4, 70);
+    m.set(0, 69);
+    m.set(3, 0);
+    EXPECT_TRUE(m.test(0, 69));
+    EXPECT_FALSE(m.test(1, 69));
+    EXPECT_EQ(m.row(3).find_first(), 0u);
+    EXPECT_EQ(m.rows(), 4u);
+    EXPECT_EQ(m.cols(), 70u);
+    EXPECT_GE(m.bytes(), 4u * 2u * 8u);
+}
 
 }  // namespace
 }  // namespace stgcc

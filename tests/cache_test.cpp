@@ -103,7 +103,7 @@ TEST(PrefixArtifacts, CoRowsMatchPairwiseConcurrency) {
         cache::PrefixArtifacts artifacts(model);
         const auto& prefix = artifacts.prefix();
         for (unf::EventId e = 0; e < prefix.num_events(); ++e) {
-            const BitVec& row = artifacts.co_row(e);
+            const BitSpan row = artifacts.co_row(e);
             for (unf::EventId f = 0; f < prefix.num_events(); ++f)
                 EXPECT_EQ(row.test(f), prefix.concurrent(e, f))
                     << "seed=" << seed << " e=" << e << " f=" << f;
@@ -125,7 +125,7 @@ TEST(PrefixArtifacts, MarkingOfDenseAgreesWithConfigurationHelper) {
         // ... and every local configuration [e] agrees bit-for-bit with the
         // sparse helper the masks replace.
         for (std::size_t i = 0; i < problem.size(); ++i) {
-            BitVec config = problem.preds(i);
+            BitVec config(problem.preds(i));
             config.set(i);
             EXPECT_EQ(artifacts.marking_of_dense(config),
                       unf::marking_of(artifacts.prefix(),

@@ -46,7 +46,7 @@ TEST_F(ConfigFixture, ConflictingSetRejected) {
     for (ConditionId b = 0; b < prefix.num_conditions(); ++b) {
         const auto& consumers = prefix.condition(b).consumers;
         if (consumers.size() < 2) continue;
-        BitVec s = prefix.local_config(consumers[0]);
+        BitVec s(prefix.local_config(consumers[0]));
         s |= prefix.local_config(consumers[1]);
         EXPECT_FALSE(is_configuration(prefix, s));
         return;
@@ -56,7 +56,7 @@ TEST_F(ConfigFixture, ConflictingSetRejected) {
 
 TEST_F(ConfigFixture, FiringSequenceReplays) {
     for (EventId e = 0; e < prefix_->num_events(); ++e) {
-        const BitVec& cfg = prefix_->local_config(e);
+        const BitSpan cfg = prefix_->local_config(e);
         auto seq = firing_sequence_of(*prefix_, cfg);
         EXPECT_EQ(seq.size(), cfg.count());
         auto m = model_.system().fire_sequence(seq);

@@ -77,7 +77,7 @@ TEST(OrderKey, CandidateKeyMatchesInsertedEvent) {
     auto model = test::tiny_conflict();
     Prefix prefix = unfold(model.system());
     for (EventId e = 0; e < prefix.num_events(); ++e) {
-        BitVec causes = prefix.local_config(e);
+        BitVec causes(prefix.local_config(e));
         causes.reset(e);
         std::uint32_t cause_level = 0;
         causes.for_each([&](std::size_t f) {

@@ -40,7 +40,7 @@ TEST(Unfolding, LocalConfigsAreCausallyClosed) {
     auto model = stg::bench::vme_bus();
     Prefix prefix = unfold(model.system());
     for (EventId e = 0; e < prefix.num_events(); ++e) {
-        const BitVec& cfg = prefix.local_config(e);
+        const BitSpan cfg = prefix.local_config(e);
         EXPECT_TRUE(cfg.test(e));
         EXPECT_TRUE(is_configuration(prefix, cfg));
         // Every event's preset producers are in the local config.
@@ -124,7 +124,7 @@ void check_completeness(const stg::Stg& model) {
         go(i + 1);
         const EventId e = events[i];
         // Include e if possible: predecessors present, no conflicts.
-        BitVec preds = prefix.local_config(e);
+        BitVec preds(prefix.local_config(e));
         bool ok = true;
         preds.for_each([&](std::size_t f) {
             if (f != e && !cfg.test(f)) ok = false;
