@@ -33,7 +33,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
+#include <vector>
 
 #include "util/bitvec.hpp"
 
@@ -50,8 +52,29 @@ public:
 
     [[nodiscard]] std::size_t num_vars() const noexcept { return num_vars_; }
 
-    /// Record a proved leaf-free first-difference index.
-    void record_cut(int relation, bool conflict_free_mode, std::size_t d);
+    /// Lifecycle tallies of the learned cuts: how many were recorded, how
+    /// often siblings replayed one, and how many search nodes the replays
+    /// actually saved (each cut is priced at the node count its original
+    /// exhaustive proof cost; a replay is credited exactly that).  The
+    /// profiler's recorded -> replayed -> pruned funnel (tools/stgprof).
+    struct Efficacy {
+        std::uint64_t recorded = 0;
+        std::uint64_t replayed = 0;
+        std::uint64_t pruned_nodes = 0;
+    };
+
+    /// Record a proved leaf-free first-difference index.  `subtree_nodes`
+    /// is the search-node count of the exhaustive proof (the price a
+    /// replaying sibling avoids paying).
+    void record_cut(int relation, bool conflict_free_mode, std::size_t d,
+                    std::uint64_t subtree_nodes = 0);
+
+    /// Credit the cuts in `mask` as replayed once each under the given key
+    /// (bulk, called once per solve; see CompatSolver::solve).
+    void note_replayed(int relation, bool conflict_free_mode,
+                       const BitVec& mask);
+
+    [[nodiscard]] Efficacy efficacy() const;
 
     /// All cuts sound for a solve under (relation, conflict_free_mode):
     /// the exact key plus the supersumption closure described above.
@@ -71,9 +94,17 @@ private:
         return static_cast<std::size_t>(relation) * 2 + (cf ? 1 : 0);
     }
 
+    /// Proof cost of the cut at index d under the closure for (relation,
+    /// cf): the first recording slot (closure order) that has d set.
+    /// Caller holds mu_.
+    [[nodiscard]] std::uint64_t cost_locked(int relation, bool cf,
+                                            std::size_t d) const;
+
     std::size_t num_vars_;
     mutable std::mutex mu_;
     BitVec cuts_[6];  // [relation][conflict_free_mode]
+    std::vector<std::uint64_t> costs_[6];  ///< proof nodes per recorded cut
+    Efficacy eff_;
     bool usc_holds_ = false;
 };
 

@@ -139,7 +139,11 @@ stg::CodingCheckResult UnfoldingChecker::check_csc(SearchOptions opts,
                 std::lock_guard<std::mutex> lock(stats_mu);
                 total.search_nodes += outcome.stats.search_nodes;
                 total.leaves += outcome.stats.leaves;
+                total.propagations += outcome.stats.propagations;
+                if (outcome.stats.max_depth > total.max_depth)
+                    total.max_depth = outcome.stats.max_depth;
                 total.seconds += outcome.stats.seconds;
+                total.bound_seconds += outcome.stats.bound_seconds;
             }
             if (!outcome.found) return std::nullopt;
             return outcome;
@@ -219,7 +223,10 @@ UnfoldingChecker::NormalcyPass UnfoldingChecker::run_normalcy_pass(
     });
     pass.stats.search_nodes = outcome.stats.search_nodes;
     pass.stats.leaves = outcome.stats.leaves;
+    pass.stats.propagations = outcome.stats.propagations;
+    pass.stats.max_depth = outcome.stats.max_depth;
     pass.stats.seconds = outcome.stats.seconds;
+    pass.stats.bound_seconds = outcome.stats.bound_seconds;
     return pass;
 }
 
@@ -290,7 +297,11 @@ stg::NormalcyResult UnfoldingChecker::check_normalcy(SearchOptions opts,
     if (use_greater) {
         result.stats.search_nodes += greater.stats.search_nodes;
         result.stats.leaves += greater.stats.leaves;
+        result.stats.propagations += greater.stats.propagations;
+        if (greater.stats.max_depth > result.stats.max_depth)
+            result.stats.max_depth = greater.stats.max_depth;
         result.stats.seconds += greater.stats.seconds;
+        result.stats.bound_seconds += greater.stats.bound_seconds;
     }
     result.normal = true;
     for (const auto& sn : result.per_signal)

@@ -58,6 +58,7 @@ bool CompatSolver::assign(int side, std::size_t idx, int value) {
         }
         ws_->val[v.side][v.idx] = val;
         ws_->trail.push_back(v);
+        ++stats_.propagations;
 
         // Per-signal accounting and interval pruning.
         const stg::SignalId z = problem_->signal(v.idx);
@@ -147,10 +148,15 @@ BitVec CompatSolver::extract(int side) const {
     return out;
 }
 
-bool CompatSolver::dfs(const PairPredicate& accept) {
+bool CompatSolver::dfs(const PairPredicate& accept, std::size_t depth) {
     if (++stats_.search_nodes > opts_.max_nodes)
         throw ModelError("CompatSolver: node limit exceeded (" +
                          std::to_string(opts_.max_nodes) + ")");
+    if (depth > stats_.max_depth) stats_.max_depth = depth;
+    if (obs::enabled()) {
+        static obs::Histogram& h = obs::histogram("compat.depth");
+        h.observe(depth);
+    }
     // Cooperative cancellation: poll every kCancelPollMask+1 nodes, then
     // unwind the whole search (returning false never records a witness).
     if (opts_.cancel.cancellable() &&
@@ -210,10 +216,22 @@ bool CompatSolver::dfs(const PairPredicate& accept) {
     for (int k = 0; k < 2; ++k) {
         const int v = k == 0 ? first : 1 - first;
         const std::size_t mark = ws_->trail.size();
-        if (assign(side, idx, v) && dfs(accept)) return true;
+        if (timed_assign(side, idx, v) && dfs(accept, depth + 1)) return true;
         undo_to(mark);
     }
     return false;
+}
+
+bool CompatSolver::timed_assign(int side, std::size_t idx, int value) {
+    // Branch-vs-bound attribution: time spent inside assign() (closure +
+    // interval propagation) is the "bound" share of a solve; everything
+    // else in dfs() is branching.  Only measured while observability is on
+    // -- two clock reads per search node is too much for the disabled path.
+    if (!obs::enabled()) return assign(side, idx, value);
+    Stopwatch w;
+    const bool ok = assign(side, idx, value);
+    bound_ns_ += w.nanos();
+    return ok;
 }
 
 namespace {
@@ -262,34 +280,48 @@ SearchOutcome CompatSolver::solve(CodeRelation relation,
     // and with it verdict and witness -- is exactly that of an uncached run.
     const int relation_key = static_cast<int>(relation);
     BitVec known_cuts;
-    if (opts_.clauses && opts_.clauses->num_vars() == q)
+    const bool sharing = opts_.clauses && opts_.clauses->num_vars() == q;
+    if (sharing)
         known_cuts = opts_.clauses->cuts_for(relation_key, conflict_free_mode_);
     std::size_t cuts_replayed = 0, cuts_recorded = 0;
+    BitVec replayed_mask;
+    if (sharing) replayed_mask.resize(q);
+    bound_ns_ = 0;
 
     // Outer loop over the first index d where the two vectors differ.
     cancelled_ = false;
     for (std::size_t d = 0; d < q && !outcome_.found && !cancelled_; ++d) {
         if (!known_cuts.empty() && known_cuts.test(d)) {
             ++cuts_replayed;
+            replayed_mask.set(d);
             continue;
         }
         first_diff_ = d;
         const std::size_t leaves_before = stats_.leaves;
+        const std::size_t nodes_before = stats_.search_nodes;
         const std::size_t mark = ws_->trail.size();
-        if (assign(0, d, 0) && assign(1, d, 1)) (void)dfs(accept);
+        if (timed_assign(0, d, 0) && timed_assign(1, d, 1))
+            (void)dfs(accept, 0);
         undo_to(mark);
         // The subtree was exhausted (not found, not cancelled) without a
         // single leaf: no pair satisfies the linear system with first
-        // difference d.  Record the cut for siblings.
-        if (opts_.clauses && opts_.clauses->num_vars() == q &&
-            !outcome_.found && !cancelled_ && stats_.leaves == leaves_before) {
-            opts_.clauses->record_cut(relation_key, conflict_free_mode_, d);
+        // difference d.  Record the cut for siblings, priced at the search
+        // nodes the proof cost -- replaying siblings are credited exactly
+        // that many pruned nodes (efficacy accounting, docs/CACHING.md).
+        if (sharing && !outcome_.found && !cancelled_ &&
+            stats_.leaves == leaves_before) {
+            opts_.clauses->record_cut(relation_key, conflict_free_mode_, d,
+                                      stats_.search_nodes - nodes_before);
             ++cuts_recorded;
         }
     }
+    if (sharing && cuts_replayed > 0)
+        opts_.clauses->note_replayed(relation_key, conflict_free_mode_,
+                                     replayed_mask);
     outcome_.cancelled = cancelled_;
     outcome_.stats = stats_;
     outcome_.stats.seconds = span.seconds();
+    outcome_.stats.bound_seconds = static_cast<double>(bound_ns_) / 1e9;
     ws_ = nullptr;
 
     obs::counter("compat.solves").add();
@@ -300,6 +332,9 @@ SearchOutcome CompatSolver::solve(CodeRelation relation,
     span.attr("conflict_free_mode", conflict_free_mode_);
     span.attr("nodes", stats_.search_nodes);
     span.attr("leaves", stats_.leaves);
+    span.attr("propagations", stats_.propagations);
+    span.attr("max_depth", stats_.max_depth);
+    span.attr("bound_ns", bound_ns_);
     span.attr("found", outcome_.found);
     if (cuts_replayed > 0) span.attr("cuts_replayed", cuts_replayed);
     if (cuts_recorded > 0) span.attr("cuts_recorded", cuts_recorded);

@@ -125,10 +125,13 @@ private:
     }
 
     bool assign(int side, std::size_t idx, int value);
+    /// assign() with the bound-time stopwatch around it when observability
+    /// is enabled (branch-vs-bound attribution in CheckStats).
+    bool timed_assign(int side, std::size_t idx, int value);
     [[nodiscard]] bool signal_feasible(stg::SignalId z) const;
     bool force_extreme(stg::SignalId z, bool maximum);
     void undo_to(std::size_t mark);
-    bool dfs(const PairPredicate& accept);
+    bool dfs(const PairPredicate& accept, std::size_t depth);
     [[nodiscard]] BitVec extract(int side) const;
 
     const CodingProblem* problem_;
@@ -144,6 +147,7 @@ private:
     // per-signal variable lists stay read-only in the problem.
     Workspace* ws_ = nullptr;
     stg::CheckStats stats_;
+    std::uint64_t bound_ns_ = 0;  ///< time inside assign() while obs is on
     SearchOutcome outcome_;
 };
 

@@ -72,6 +72,8 @@ VerificationReport verify_stg(const stg::Stg& input, VerifyOptions opts,
             [&] { report.normalcy = checker.check_normalcy(opts.search, ex); });
     }
     sched::parallel_invoke(ex, std::move(phases));
+    if (opts.search.use_learned_clauses)
+        report.cuts = report.artifacts->clauses().efficacy();
     if (opts.check_deadlock) {
         obs::Span phase("solve.deadlock");
         report.deadlock_checked = true;
@@ -141,7 +143,10 @@ obs::Json stats_json(const stg::CheckStats& s) {
         .set("states", s.states)
         .set("search_nodes", s.search_nodes)
         .set("leaves", s.leaves)
-        .set("seconds", s.seconds);
+        .set("propagations", s.propagations)
+        .set("max_depth", s.max_depth)
+        .set("seconds", s.seconds)
+        .set("bound_seconds", s.bound_seconds);
 }
 
 }  // namespace
@@ -182,6 +187,10 @@ obs::Json report_json(const stg::Stg& input, const VerificationReport& r) {
     stats.set("usc", stats_json(r.usc.stats));
     stats.set("csc", stats_json(r.csc.stats));
     if (r.normalcy_checked) stats.set("normalcy", stats_json(r.normalcy.stats));
+    stats.set("cuts", obs::Json::object()
+                          .set("recorded", r.cuts.recorded)
+                          .set("replayed", r.cuts.replayed)
+                          .set("pruned_nodes", r.cuts.pruned_nodes));
 
     obs::Json out = obs::Json::object();
     out.set("model", std::move(model));

@@ -65,6 +65,12 @@ struct VerificationReport {
     bool persistency_checked = false;
     bool persistent = true;
     std::string persistency_note;  ///< which output / disabler, when violated
+    /// Learned-clause funnel of this run's ClauseStore (tier-2 cache):
+    /// cuts recorded by exhaustive subtree proofs, replays by sibling
+    /// solver instances, and the search nodes those replays skipped.
+    /// Schedule- and cache-state-dependent (like CheckStats); exported
+    /// under the volatile "stats" report key.
+    cache::ClauseStore::Efficacy cuts;
 };
 
 /// Run the whole pipeline.  Inconsistent STGs short-circuit (USC/CSC/

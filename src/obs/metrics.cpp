@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -22,6 +23,32 @@ std::uint64_t Histogram::count() const noexcept {
     std::uint64_t total = 0;
     for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
     return total;
+}
+
+double Histogram::quantile(double q) const noexcept {
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const std::uint64_t total = count();
+    if (total == 0) return 0.0;
+    // Rank of the target sample (1-based), then walk buckets to find it.
+    const double target = q * static_cast<double>(total);
+    double seen = 0.0;
+    for (int i = 0; i < kBuckets; ++i) {
+        const auto in_bucket =
+            static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+        if (in_bucket == 0.0) continue;
+        if (seen + in_bucket >= target) {
+            if (i == 0) return 0.0;  // bucket 0 holds exactly {0}
+            // [lo, hi] = [2^(i-1), 2^i - 1]; hi computed in double so the
+            // top bucket (i == 64) needs no 1 << 64.
+            const double lo = static_cast<double>(std::uint64_t{1} << (i - 1));
+            const double hi = lo * 2.0 - 1.0;
+            const double frac = (target - seen) / in_bucket;
+            return lo + frac * (hi - lo);
+        }
+        seen += in_bucket;
+    }
+    return static_cast<double>(~std::uint64_t{0});
 }
 
 void Histogram::reset() noexcept {
@@ -52,16 +79,21 @@ constexpr const char* kBuiltinCounters[] = {
     "compat.closure_prunes", "sg.builds",     "sg.states",
     "sg.edges",         "sched.tasks_submitted", "sched.tasks_executed",
     "sched.tasks_stolen", "sched.steal_failures", "sched.worker_busy_ns",
+    "sched.parks",        "sched.park_ns",        "sched.injector_contention",
     "cache.artifacts.built",  "cache.clauses.recorded",
-    "cache.clauses.replayed", "cache.certificates.csc_from_usc",
+    "cache.clauses.replayed", "cache.clauses.pruned_nodes",
+    "cache.certificates.csc_from_usc",
     "cache.result.hits",      "cache.result.misses",
     "cache.result.stores",    "cache.result.evicted",
     "sched.workspace_reuse",
 };
 constexpr const char* kBuiltinGauges[] = {
     "unfold.pe_queue_peak", "unfold.co_pairs", "sg.hash_load_permille",
-    "sched.workers",        "mem.arena_bytes", "mem.arena_peak_bytes"};
-constexpr const char* kBuiltinHistograms[] = {"unfold.pe_queue_depth"};
+    "sched.workers",        "mem.arena_bytes", "mem.arena_peak_bytes",
+    "sched.critical_path_ns"};
+constexpr const char* kBuiltinHistograms[] = {
+    "unfold.pe_queue_depth", "sched.queue_delay_ns", "sched.task_duration_ns",
+    "sched.steal_latency_ns", "compat.depth"};
 }  // namespace
 
 Registry::Impl& Registry::impl() const {
@@ -135,6 +167,9 @@ Json Registry::to_json() const {
         Json hist = Json::object();
         hist.set("count", h->count());
         hist.set("sum", h->sum());
+        hist.set("p50", h->quantile(0.50));
+        hist.set("p90", h->quantile(0.90));
+        hist.set("p99", h->quantile(0.99));
         Json buckets = Json::array();
         for (int i = 0; i < Histogram::kBuckets; ++i) {
             if (h->bucket(i) == 0) continue;
@@ -159,9 +194,13 @@ std::string Registry::text_summary() const {
         out += name + " " + std::to_string(c->value()) + "\n";
     for (const auto& [name, g] : im.gauges)
         out += name + " " + std::to_string(g->value()) + "\n";
-    for (const auto& [name, h] : im.histograms)
+    char q[96];
+    for (const auto& [name, h] : im.histograms) {
+        std::snprintf(q, sizeof q, " p50=%.1f p90=%.1f p99=%.1f",
+                      h->quantile(0.50), h->quantile(0.90), h->quantile(0.99));
         out += name + " count=" + std::to_string(h->count()) +
-               " sum=" + std::to_string(h->sum()) + "\n";
+               " sum=" + std::to_string(h->sum()) + q + "\n";
+    }
     return out;
 }
 

@@ -104,6 +104,11 @@ public:
     [[nodiscard]] std::uint64_t bucket(int i) const noexcept {
         return buckets_[i].load(std::memory_order_relaxed);
     }
+    /// Quantile estimate (q in [0, 1]) by linear interpolation inside the
+    /// bucket holding the q-th sample.  Log2 buckets bound the relative
+    /// error by 2x; good enough for p50/p90/p99 latency triage.  Returns 0
+    /// for an empty histogram.
+    [[nodiscard]] double quantile(double q) const noexcept;
     void reset() noexcept;
 
 private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 
 namespace stgcc::obs {
 
@@ -26,8 +27,33 @@ Tracer& Tracer::instance() {
 void Tracer::clear() {
     std::lock_guard<std::mutex> lock(mu_);
     spans_.clear();
+    flows_.clear();
     tids_.clear();
+    thread_names_.clear();
+    next_flow_ = 0;
     epoch_.reset();
+}
+
+std::uint32_t Tracer::tid_locked() {
+    return tids_
+        .emplace(std::this_thread::get_id(),
+                 static_cast<std::uint32_t>(tids_.size() + 1))
+        .first->second;
+}
+
+void Tracer::set_thread_name(std::string name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    thread_names_[tid_locked()] = std::move(name);
+}
+
+std::uint64_t Tracer::next_flow_id() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ++next_flow_;
+}
+
+void Tracer::flow(std::uint64_t id, bool begin) {
+    std::lock_guard<std::mutex> lock(mu_);
+    flows_.push_back(FlowRecord{id, epoch_.nanos(), tid_locked(), begin});
 }
 
 std::uint32_t Tracer::begin_span(std::string_view name) {
@@ -37,9 +63,7 @@ std::uint32_t Tracer::begin_span(std::string_view name) {
     rec.start_ns = epoch_.nanos();
     rec.parent = t_open_spans.empty() ? kNoSpan : t_open_spans.back();
     rec.depth = static_cast<std::uint32_t>(t_open_spans.size());
-    rec.tid = tids_.emplace(std::this_thread::get_id(),
-                            static_cast<std::uint32_t>(tids_.size() + 1))
-                  .first->second;
+    rec.tid = tid_locked();
     const auto id = static_cast<std::uint32_t>(spans_.size());
     spans_.push_back(std::move(rec));
     t_open_spans.push_back(id);
@@ -76,11 +100,39 @@ std::vector<SpanRecord> Tracer::snapshot() const {
     return spans_;
 }
 
+std::vector<FlowRecord> Tracer::flows() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return flows_;
+}
+
 std::string Tracer::chrome_trace_json() const {
     const std::vector<SpanRecord> spans = snapshot();
+    const std::vector<FlowRecord> flow_events = flows();
+    // Every tid that appears anywhere gets a thread_name metadata event up
+    // front (registered name, else "thread-N"), sorted by tid so Perfetto
+    // rows are stably labelled and the export is deterministic given the
+    // recorded data.
+    std::map<std::uint32_t, std::string> names;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const SpanRecord& s : spans_) names.emplace(s.tid, "");
+        for (const FlowRecord& f : flows_) names.emplace(f.tid, "");
+        for (const auto& [tid, name] : thread_names_) names[tid] = name;
+    }
     std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
     bool first = true;
     char buf[64];
+    for (auto& [tid, name] : names) {
+        if (name.empty()) name = "thread-" + std::to_string(tid);
+        if (!first) out += ",\n";
+        first = false;
+        std::snprintf(buf, sizeof buf,
+                      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                      "\"tid\":%u,\"args\":{\"name\":\"",
+                      tid);
+        out += buf;
+        out += Json::escape(name) + "\"}}";
+    }
     for (const SpanRecord& s : spans) {
         if (!first) out += ",\n";
         first = false;
@@ -101,6 +153,22 @@ std::string Tracer::chrome_trace_json() const {
             out += ",\"args\":" + args.dump();
         }
         out += "}";
+    }
+    for (const FlowRecord& f : flow_events) {
+        if (!first) out += ",\n";
+        first = false;
+        // "s" at the submit site, "f" with bp=e (bind to enclosing slice)
+        // where the task ran; same id links the arrow across thread rows.
+        out += "{\"name\":\"sched.submit\",\"cat\":\"stgcc\",\"ph\":\"";
+        out += f.begin ? "s" : "f";
+        out += '"';
+        if (!f.begin) out += ",\"bp\":\"e\"";
+        std::snprintf(buf, sizeof buf, ",\"id\":%llu,\"ts\":%.3f",
+                      static_cast<unsigned long long>(f.id),
+                      static_cast<double>(f.ts_ns) / 1e3);
+        out += buf;
+        std::snprintf(buf, sizeof buf, ",\"pid\":1,\"tid\":%u}", f.tid);
+        out += buf;
     }
     out += "\n]}\n";
     return out;

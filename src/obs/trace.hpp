@@ -57,6 +57,16 @@ struct SpanRecord {
     std::vector<std::pair<std::string, Json>> attrs;
 };
 
+/// One flow step: an "s" (begin, at submission) or "f" (end, at execution)
+/// Chrome-trace flow event tying a task's submit site to the worker that
+/// ran it, across thread rows.
+struct FlowRecord {
+    std::uint64_t id = 0;    ///< link id shared by the s/f pair
+    std::uint64_t ts_ns = 0;
+    std::uint32_t tid = 0;
+    bool begin = true;       ///< true = "s" (submit), false = "f" (execute)
+};
+
 /// Process-global span collector.  All methods are thread-safe.
 class Tracer {
 public:
@@ -70,8 +80,19 @@ public:
     void end_span(std::uint32_t id);
     void add_attr(std::uint32_t id, std::string_view key, Json value);
 
+    /// Register a stable display name for the calling thread; exported as a
+    /// Chrome-trace "thread_name" metadata event so Perfetto rows read
+    /// "worker-3" instead of a bare tid.  Idempotent; last write wins.
+    void set_thread_name(std::string name);
+
+    /// Allocate a fresh flow-link id (never 0).
+    [[nodiscard]] std::uint64_t next_flow_id();
+    /// Record one side of a flow link on the calling thread.
+    void flow(std::uint64_t id, bool begin);
+
     [[nodiscard]] std::size_t num_spans() const;
     [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+    [[nodiscard]] std::vector<FlowRecord> flows() const;
 
     /// Chrome trace-event JSON ("X" complete events, microsecond
     /// timestamps), one event per line for stable golden-file diffs.
@@ -83,9 +104,16 @@ public:
 private:
     Tracer() = default;
 
+    /// Dense tid of the calling thread, assigning the next number on first
+    /// use.  Caller holds mu_.
+    std::uint32_t tid_locked();
+
     mutable std::mutex mu_;
     std::vector<SpanRecord> spans_;
+    std::vector<FlowRecord> flows_;
     std::unordered_map<std::thread::id, std::uint32_t> tids_;
+    std::unordered_map<std::uint32_t, std::string> thread_names_;
+    std::uint64_t next_flow_ = 0;
     Stopwatch epoch_;
 };
 

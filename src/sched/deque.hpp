@@ -21,16 +21,23 @@ namespace stgcc::sched {
 
 using Task = std::function<void()>;
 
-class WorkDeque {
+/// Deque over an arbitrary movable payload.  The pool instantiates it with
+/// its task-plus-telemetry record; `WorkDeque` below keeps the historical
+/// plain-Task alias used by tests and examples.
+template <class T>
+class WorkDequeT {
 public:
-    /// Owner end: push a new task (most recently spawned work).
-    void push_bottom(Task task) {
+    /// Owner end: push a new task (most recently spawned work).  Returns
+    /// the queue size after the push, letting the caller detect contention
+    /// (size > 1 on the shared injector) without a second lock round-trip.
+    std::size_t push_bottom(T task) {
         std::lock_guard<std::mutex> lock(mu_);
         q_.push_back(std::move(task));
+        return q_.size();
     }
 
     /// Owner end: take the most recently pushed task.  False when empty.
-    bool pop_bottom(Task& out) {
+    bool pop_bottom(T& out) {
         std::lock_guard<std::mutex> lock(mu_);
         if (q_.empty()) return false;
         out = std::move(q_.back());
@@ -39,7 +46,7 @@ public:
     }
 
     /// Thief end: take the oldest task.  False when empty.
-    bool steal_top(Task& out) {
+    bool steal_top(T& out) {
         std::lock_guard<std::mutex> lock(mu_);
         if (q_.empty()) return false;
         out = std::move(q_.front());
@@ -59,7 +66,9 @@ public:
 
 private:
     mutable std::mutex mu_;
-    std::deque<Task> q_;
+    std::deque<T> q_;
 };
+
+using WorkDeque = WorkDequeT<Task>;
 
 }  // namespace stgcc::sched

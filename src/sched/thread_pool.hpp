@@ -32,8 +32,29 @@
 #include <vector>
 
 #include "sched/deque.hpp"
+#include "util/stopwatch.hpp"
 
 namespace stgcc::sched {
+
+/// "No attribution group" sentinel for TaskMeta::group.
+inline constexpr std::uint32_t kNoGroup = 0xffffffffu;
+
+/// Telemetry stamped onto every queued task at submission.  Travels with
+/// the task through the deques so the executing worker can compute queue
+/// delay (submit -> start), extend the critical-path chain, attribute the
+/// task to a group, and close the Chrome-trace flow link.
+struct TaskMeta {
+    std::uint64_t submit_ns = 0;  ///< pool-epoch stamp taken in submit()
+    std::uint64_t chain_ns = 0;   ///< critical-path length up to submission
+    std::uint32_t group = kNoGroup;  ///< attribution group (see set_current_group)
+    std::uint64_t flow_id = 0;    ///< Chrome-trace flow link (0 = none)
+};
+
+/// What the pool's deques actually carry: the callable plus its telemetry.
+struct PoolTask {
+    Task fn;
+    TaskMeta meta;
+};
 
 class WorkStealingPool {
 public:
@@ -78,40 +99,91 @@ public:
         std::uint64_t stolen = 0;          ///< tasks taken from another deque
         std::uint64_t steal_failures = 0;  ///< full scans that found nothing
         std::uint64_t submitted = 0;       ///< tasks ever submitted
-        std::uint64_t busy_ns = 0;         ///< summed task execution time
+        std::uint64_t busy_ns = 0;  ///< summed task self time (helping-
+                                    ///< nested tasks count once, in themselves)
+        /// Portion of busy_ns executed by non-worker threads helping
+        /// through help_until (e.g. the caller inside TaskGroup::wait);
+        /// profilers count it as extra fractional capacity beyond the
+        /// worker count.
+        std::uint64_t external_busy_ns = 0;
+        std::uint64_t queue_delay_ns = 0;  ///< summed submit -> start latency
+        std::uint64_t critical_path_ns = 0;  ///< longest submission chain
+        std::uint64_t parks = 0;           ///< worker cv waits (idle episodes)
+        std::uint64_t park_ns = 0;         ///< summed parked time
+        std::uint64_t injector_contention = 0;  ///< injector pushes that queued
     };
     [[nodiscard]] Stats stats() const;
 
+    /// Per-group attribution: a corpus driver sizes the table once before
+    /// submitting work (`configure_groups(models)`), each top-level task
+    /// claims its group via `set_current_group(i)`, and nested submissions
+    /// inherit the submitter's group.  `group_stats` reads back the tallies
+    /// (exact once the group's tasks are quiescent, i.e. after the owning
+    /// TaskGroup::wait returned).
+    struct GroupStats {
+        std::uint64_t tasks = 0;
+        std::uint64_t queue_delay_ns = 0;
+        std::uint64_t busy_ns = 0;
+    };
+    void configure_groups(std::size_t n);
+    [[nodiscard]] GroupStats group_stats(std::size_t group) const;
+
 private:
     struct Worker {
-        WorkDeque deque;
+        WorkDequeT<PoolTask> deque;
         std::thread thread;
         std::atomic<std::uint64_t> executed{0};
         std::atomic<std::uint64_t> stolen{0};
         std::atomic<std::uint64_t> steal_failures{0};
         std::atomic<std::uint64_t> busy_ns{0};
+        std::atomic<std::uint64_t> queue_delay_ns{0};
+        std::atomic<std::uint64_t> parks{0};
+        std::atomic<std::uint64_t> park_ns{0};
+    };
+
+    struct GroupSlot {
+        std::atomic<std::uint64_t> tasks{0};
+        std::atomic<std::uint64_t> queue_delay_ns{0};
+        std::atomic<std::uint64_t> busy_ns{0};
     };
 
     void worker_main(unsigned index);
     /// Take one task: own deque (workers only), injector, then steal scan.
-    bool try_get(Task& out, unsigned self_index);
-    void execute(Task& task, unsigned self_index);
+    /// `stolen` reports whether the task came off another worker's deque.
+    bool try_get(PoolTask& out, unsigned self_index, bool& stolen);
+    void execute(PoolTask& task, unsigned self_index, bool stolen);
     void notify_one_locked();
 
     std::vector<std::unique_ptr<Worker>> workers_;
-    WorkDeque injector_;
+    WorkDequeT<PoolTask> injector_;
 
     std::mutex cv_mu_;
     std::condition_variable cv_;
     std::atomic<bool> stop_{false};
     std::atomic<std::uint64_t> queued_{0};     ///< tasks enqueued, not yet taken
     std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> critical_path_ns_{0};
+    std::atomic<std::uint64_t> injector_contention_{0};
+    Stopwatch epoch_;  ///< timebase for TaskMeta stamps
+
+    // Per-group attribution table; sized before work is submitted.
+    std::vector<std::unique_ptr<GroupSlot>> groups_;
 
     // Tallies for non-worker threads executing tasks via help_until.
     std::atomic<std::uint64_t> external_executed_{0};
     std::atomic<std::uint64_t> external_stolen_{0};
     std::atomic<std::uint64_t> external_busy_ns_{0};
+    std::atomic<std::uint64_t> external_queue_delay_ns_{0};
 };
+
+/// Claim attribution group `group` for the pool task the calling thread is
+/// currently executing; tasks it submits from now on inherit the group.
+/// No-op when the caller is not inside a pool task (serial mode).
+void set_current_group(std::uint32_t group) noexcept;
+
+/// Queue delay (submit -> start) of the pool task the calling thread is
+/// currently executing; 0 outside a pool task (serial mode).
+[[nodiscard]] std::uint64_t current_task_queue_delay_ns() noexcept;
 
 /// A set of tasks whose completion can be awaited.  With a null pool the
 /// group degenerates to immediate inline execution -- the `--jobs 1` mode

@@ -22,8 +22,17 @@ struct CheckStats {
     std::size_t search_nodes = 0;
     /// Candidate solutions reaching a leaf predicate evaluation.
     std::size_t leaves = 0;
+    /// Closure/interval propagations (variable assignments forced by MCC
+    /// closure and per-signal interval reasoning, IP-based).
+    std::size_t propagations = 0;
+    /// Deepest DFS recursion reached.
+    std::size_t max_depth = 0;
     /// Wall-clock seconds.
     double seconds = 0.0;
+    /// Seconds inside propagation/bounding (assign + closure); only
+    /// measured while observability is enabled, 0 otherwise.  The branch
+    /// side of the split is seconds - bound_seconds.
+    double bound_seconds = 0.0;
 };
 
 /// A pair of reachable states demonstrating a USC or CSC conflict, together

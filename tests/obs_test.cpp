@@ -246,6 +246,43 @@ TEST_F(ObsTest, HistogramBucketMath) {
     EXPECT_EQ(Histogram::bucket_limit(3), 7u);
 }
 
+TEST_F(ObsTest, HistogramQuantiles) {
+    Histogram& empty = histogram("q.empty");
+    EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+    // Bucket 0 holds exactly {0}: any quantile landing there is 0.
+    Histogram& zeros = histogram("q.zeros");
+    for (int i = 0; i < 5; ++i) zeros.observe(0);
+    zeros.observe(1);
+    EXPECT_EQ(zeros.quantile(0.5), 0.0);
+    // p99 lands on the single 1-sample; bucket 1 is [1, 1].
+    EXPECT_DOUBLE_EQ(zeros.quantile(0.99), 1.0);
+
+    // Four samples in one bucket [1024, 2047]: the median interpolates to
+    // the bucket midpoint.
+    Histogram& one = histogram("q.one");
+    for (int i = 0; i < 4; ++i) one.observe(1024);
+    EXPECT_DOUBLE_EQ(one.quantile(0.5), 1024.0 + 0.5 * 1023.0);
+    // q is clamped to [0, 1].
+    EXPECT_EQ(one.quantile(-1.0), one.quantile(0.0));
+    EXPECT_EQ(one.quantile(2.0), one.quantile(1.0));
+
+    // Quantiles are monotone in q and bounded by the log2 bucket width
+    // (relative error <= 2x).
+    Histogram& mixed = histogram("q.mixed");
+    for (std::uint64_t v : {3u, 9u, 80u, 700u, 6000u, 50000u})
+        mixed.observe(v);
+    double prev = 0.0;
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+        const double val = mixed.quantile(q);
+        EXPECT_GE(val, prev) << q;
+        prev = val;
+    }
+    const double p99 = mixed.quantile(0.99);
+    EXPECT_GE(p99, 50000.0 / 2.0);
+    EXPECT_LE(p99, 2.0 * 50000.0);
+}
+
 TEST_F(ObsTest, RegistryJsonAndReset) {
     counter("r.c").add(2);
     gauge("r.g").set(-3);
@@ -261,6 +298,12 @@ TEST_F(ObsTest, RegistryJsonAndReset) {
     ASSERT_NE(rh, nullptr);
     EXPECT_EQ(rh->find("count")->dump(), "1");
     EXPECT_EQ(rh->find("sum")->dump(), "5");
+    // Quantile snapshot travels with every histogram export (consumed by
+    // stgprof's queue-delay table when no trace is present).
+    ASSERT_NE(rh->find("p50"), nullptr);
+    ASSERT_NE(rh->find("p90"), nullptr);
+    ASSERT_NE(rh->find("p99"), nullptr);
+    EXPECT_GE(rh->find("p99")->as_double(), rh->find("p50")->as_double());
 
     const std::string text = Registry::instance().text_summary();
     EXPECT_NE(text.find("r.c"), std::string::npos);

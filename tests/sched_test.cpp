@@ -88,6 +88,150 @@ TEST(SchedPool, CurrentIsSetOnWorkersOnly) {
     EXPECT_EQ(WorkStealingPool::current(), nullptr);
 }
 
+// Busy wait (not sleep): the telemetry tests below assert on busy_ns, and
+// a sleeping task accrues wall time without consuming a worker the way the
+// solver's compute-bound tasks do.
+void spin_for(std::chrono::nanoseconds d) {
+    const auto until = std::chrono::steady_clock::now() + d;
+    while (std::chrono::steady_clock::now() < until) std::atomic_signal_fence(std::memory_order_seq_cst);
+}
+
+TEST(SchedPool, QueueDelayTalliesMatchPerTaskObservations) {
+    using namespace std::chrono_literals;
+    // 8 x 5 ms of work on 2 workers, submitted from outside (injector) with
+    // no helping: a backlog is guaranteed, so later tasks must report a
+    // positive submit -> start latency, and the pool-level tally is exactly
+    // the sum of what the tasks themselves observed.
+    WorkStealingPool pool(2);
+    constexpr int kTasks = 8;
+    std::atomic<int> done{0};
+    std::atomic<std::uint64_t> delay_sum{0};
+    std::atomic<std::uint64_t> delay_max{0};
+    for (int i = 0; i < kTasks; ++i)
+        pool.submit([&] {
+            const std::uint64_t d = current_task_queue_delay_ns();
+            delay_sum.fetch_add(d, std::memory_order_relaxed);
+            std::uint64_t cur = delay_max.load(std::memory_order_relaxed);
+            while (d > cur && !delay_max.compare_exchange_weak(cur, d)) {
+            }
+            spin_for(5ms);
+            done.fetch_add(1, std::memory_order_release);
+        });
+    while (done.load(std::memory_order_acquire) < kTasks)
+        std::this_thread::yield();
+    const auto s = pool.stats();
+    EXPECT_EQ(s.executed, static_cast<std::uint64_t>(kTasks));
+    EXPECT_EQ(s.queue_delay_ns, delay_sum.load());
+    EXPECT_GT(delay_max.load(), 0u);
+    // Outside any pool task the current-task query answers 0.
+    EXPECT_EQ(current_task_queue_delay_ns(), 0u);
+}
+
+TEST(SchedPool, SelfTimePartitionsHelpedNestedWork) {
+    using namespace std::chrono_literals;
+    // One worker; the parent spins 5 ms, fans out a 20 ms child and waits.
+    // The wait helps, so the child runs nested inside the parent's wall
+    // time.  Self-time accounting must count those 20 ms once (in the
+    // child), not twice: total busy stays near 25 ms.  Before the nested_ns
+    // split this read ~45 ms.
+    // The main thread spins on a flag instead of TaskGroup::wait -- if it
+    // helped, it could steal the child and the parent would idle in its
+    // wait (idle-in-wait is self time; the nested split only covers time
+    // the waiter spends *executing* other tasks).
+    WorkStealingPool pool(1);
+    const auto t0 = std::chrono::steady_clock::now();
+    pool.submit([&] {
+        spin_for(5ms);
+        TaskGroup inner(&pool);
+        inner.run([&] { spin_for(20ms); });
+        inner.wait();
+    });
+    // Quiesce on executed: it is written after the busy tallies, so the
+    // stats read below is exact (and not racing the parent's accounting).
+    while (pool.stats().executed < 2u) std::this_thread::yield();
+    const std::uint64_t wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    const auto s = pool.stats();
+    EXPECT_EQ(s.executed, 2u);
+    EXPECT_GE(s.busy_ns, 24'000'000u);
+    // The invariant that pins down single-counting, robust to a loaded
+    // machine: everything ran nested on ONE worker thread, so the self-time
+    // partition cannot exceed the wall clock we observed around the whole
+    // run.  The pre-nested_ns accounting double-counted the child inside
+    // the parent and summed to wall + ~20 ms.
+    EXPECT_LE(s.busy_ns, wall_ns + 2'000'000u);
+    // The submission chain parent -> child is visible as the critical path:
+    // at least the child's 20 ms, never more than total work.
+    EXPECT_GE(s.critical_path_ns, 20'000'000u);
+    EXPECT_LE(s.critical_path_ns, s.busy_ns);
+}
+
+TEST(SchedPool, ExternalHelperBusyIsTalliedSeparately) {
+    using namespace std::chrono_literals;
+    // The single worker is pinned in a blocker task, so the payload tasks
+    // can only run on the external (main) thread helping through
+    // help_until.  Their time must land in external_busy_ns -- the
+    // fractional extra capacity stgprof adds to the worker count.
+    WorkStealingPool pool(1);
+    std::atomic<bool> release{false};
+    std::atomic<bool> blocker_running{false};
+    std::atomic<int> payloads_done{0};
+    constexpr int kPayloads = 4;
+    pool.submit([&] {
+        blocker_running.store(true, std::memory_order_release);
+        while (!release.load(std::memory_order_acquire))
+            std::this_thread::yield();
+    });
+    while (!blocker_running.load(std::memory_order_acquire))
+        std::this_thread::yield();
+    for (int i = 0; i < kPayloads; ++i)
+        pool.submit([&] {
+            spin_for(1ms);
+            payloads_done.fetch_add(1, std::memory_order_release);
+        });
+    pool.help_until([&] {
+        return payloads_done.load(std::memory_order_acquire) == kPayloads;
+    });
+    release.store(true, std::memory_order_release);
+    while (pool.stats().executed < kPayloads + 1u) std::this_thread::yield();
+    const auto s = pool.stats();
+    EXPECT_GT(s.external_busy_ns, 0u);
+    EXPECT_GE(s.busy_ns, s.external_busy_ns);
+}
+
+TEST(SchedPool, GroupStatsAttributeNestedTasksToTheClaimedGroup) {
+    using namespace std::chrono_literals;
+    // Mirrors stgbatch: the table is sized up front, each top-level task
+    // claims its group after it starts, nested submissions inherit it.
+    WorkStealingPool pool(2);
+    pool.configure_groups(2);
+    TaskGroup outer(&pool);
+    for (std::uint32_t g = 0; g < 2; ++g)
+        outer.run([&pool, g] {
+            set_current_group(g);
+            TaskGroup inner(&pool);
+            for (int i = 0; i < 3; ++i)
+                inner.run([] { spin_for(1ms); });
+            inner.wait();
+        });
+    outer.wait();
+    // wait() returns on the in-task completion flag, which fires *before*
+    // execute() writes the group tallies; quiesce on executed (written
+    // after them) so the read below is exact.
+    while (pool.stats().executed < 8u) std::this_thread::yield();
+    for (std::uint32_t g = 0; g < 2; ++g) {
+        const auto gs = pool.group_stats(g);
+        EXPECT_EQ(gs.tasks, 4u) << g;  // the claimer + 3 nested
+        EXPECT_GT(gs.busy_ns, 0u) << g;
+    }
+    // Out-of-range groups read as empty, never UB.
+    const auto none = pool.group_stats(99);
+    EXPECT_EQ(none.tasks, 0u);
+    EXPECT_EQ(none.busy_ns, 0u);
+}
+
 TEST(SchedExecutor, SerialHasNoPool) {
     Executor ex(1);
     EXPECT_EQ(ex.jobs(), 1u);

@@ -28,12 +28,14 @@
 #include <string>
 #include <vector>
 
+#include "cache/clause_store.hpp"
 #include "cache/result_cache.hpp"
 #include "core/verifier.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "sched/parallel.hpp"
+#include "sched/thread_pool.hpp"
 #include "stg/astg.hpp"
 #include "util/stopwatch.hpp"
 
@@ -125,6 +127,13 @@ struct ModelResult {
     std::string verdict;    ///< streamed verdict line
     obs::Json row;          ///< aggregate-report row (seconds appended later)
     double seconds = 0.0;
+    /// Scheduler attribution for this model's task group: the model task
+    /// itself plus every nested task it fanned out (per-signal CSC,
+    /// normalcy orientations).  Volatile -- appended to the row under
+    /// "stats", never cached.
+    std::uint64_t tasks = 0;
+    std::uint64_t queue_delay_ns = 0;
+    cache::ClauseStore::Efficacy cuts;
 };
 
 std::vector<std::string> collect_manifest(const std::string& arg,
@@ -255,6 +264,11 @@ int main(int argc, char** argv) {
         std::cout << "stgbatch: " << files.size() << " models, jobs="
                   << ex.jobs() << "\n";
 
+    // One attribution group per model: the model task claims its manifest
+    // index, nested submissions inherit it, and the per-model queue-delay
+    // column reads the tallies back after the model's fan-out drained.
+    if (ex.pool()) ex.pool()->configure_groups(files.size());
+
     Stopwatch total_timer;
     std::mutex out_mu;
     std::size_t done = 0;
@@ -265,6 +279,7 @@ int main(int argc, char** argv) {
     // share the one pool: small models fill workers the big models' fanout
     // leaves idle, and the corpus isn't serialized on its largest model.
     sched::parallel_for(ex, files.size(), [&](std::size_t i) {
+        sched::set_current_group(static_cast<std::uint32_t>(i));
         ModelResult& r = results[i];
         r.file = files[i];
         Stopwatch timer;
@@ -295,6 +310,7 @@ int main(int argc, char** argv) {
                 const std::string name = model.name();
                 auto report = core::verify_stg(model, vopts, ex);
                 r.loaded = true;
+                r.cuts = report.cuts;
                 r.all_hold = report_all_hold(report);
                 r.verdict = report_verdict_line(report);
                 r.row = report_row(files[i], name, report);
@@ -316,12 +332,26 @@ int main(int argc, char** argv) {
             }
         }
         r.seconds = timer.seconds();
+        // Queue-delay attribution: nested tasks are quiescent here (the
+        // model's verify drained its groups), but this task's own tallies
+        // land in the group only after this lambda returns -- so add its
+        // queue delay explicitly.
+        r.tasks = 1;
+        r.queue_delay_ns = sched::current_task_queue_delay_ns();
+        if (ex.pool()) {
+            const auto gs = ex.pool()->group_stats(i);
+            r.tasks += gs.tasks;
+            r.queue_delay_ns += gs.queue_delay_ns;
+        }
+        const double qd_ms = static_cast<double>(r.queue_delay_ns) /
+                             static_cast<double>(r.tasks) / 1e6;
         std::lock_guard<std::mutex> lock(out_mu);
         ++done;
         if (!quiet) {
             std::cout << "[" << done << "/" << files.size() << "] "
                       << fs::path(files[i]).filename().string() << "  "
-                      << r.verdict << "  (" << r.seconds << " s)\n";
+                      << r.verdict << "  (" << r.seconds << " s, qd "
+                      << qd_ms << " ms)\n";
         }
     });
     const double total_seconds = total_timer.seconds();
@@ -343,7 +373,19 @@ int main(int argc, char** argv) {
         obs::Json rows = obs::Json::array();
         for (const ModelResult& r : results) {
             obs::Json row = r.row;
-            if (r.loaded) row.set("seconds", r.seconds);
+            if (r.loaded) {
+                row.set("seconds", r.seconds);
+                row.set("stats",
+                        obs::Json::object()
+                            .set("tasks", r.tasks)
+                            .set("queue_delay_ns", r.queue_delay_ns)
+                            .set("cuts",
+                                 obs::Json::object()
+                                     .set("recorded", r.cuts.recorded)
+                                     .set("replayed", r.cuts.replayed)
+                                     .set("pruned_nodes",
+                                          r.cuts.pruned_nodes)));
+            }
             rows.push(std::move(row));
         }
         obs::Json body = obs::Json::object();
@@ -356,6 +398,25 @@ int main(int argc, char** argv) {
                                 .set("violated", violated)
                                 .set("errors", errors)
                                 .set("seconds", total_seconds));
+        obs::Json sched_stats = obs::Json::object();
+        sched_stats.set("workers", ex.jobs());
+        sched_stats.set("wall_ns",
+                        static_cast<std::uint64_t>(total_seconds * 1e9));
+        if (ex.pool()) {
+            const auto ps = ex.pool()->stats();
+            sched_stats.set("executed", ps.executed)
+                .set("stolen", ps.stolen)
+                .set("steal_failures", ps.steal_failures)
+                .set("busy_ns", ps.busy_ns)
+                .set("external_busy_ns", ps.external_busy_ns)
+                .set("queue_delay_ns", ps.queue_delay_ns)
+                .set("critical_path_ns", ps.critical_path_ns)
+                .set("parks", ps.parks)
+                .set("park_ns", ps.park_ns)
+                .set("injector_contention", ps.injector_contention);
+        }
+        body.set("stats",
+                 obs::Json::object().set("sched", std::move(sched_stats)));
         body.set("metrics", obs::Registry::instance().to_json());
         if (!obs::save_json(json_path,
                             obs::make_report("stgbatch", std::move(body)))) {
