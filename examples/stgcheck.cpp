@@ -27,6 +27,9 @@
 #include "cache/result_cache.hpp"
 #include "core/conflict_cores.hpp"
 #include "core/verifier.hpp"
+#include "obs/report.hpp"
+#include "svc/client.hpp"
+#include "svc/protocol.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -75,8 +78,83 @@ void print_usage(std::ostream& out) {
            "  --no-cache          disable the result cache and learned-clause "
            "sharing\n"
            "\n"
+           "service (docs/SERVICE.md):\n"
+           "  --connect EP        verify through a running stgd at EP\n"
+           "                      (unix:/path or host:port); output and exit\n"
+           "                      code match a local run\n"
+           "  --deadline-ms D     per-request deadline (--connect only)\n"
+           "\n"
            "exit codes: 0 = all properties hold, 1 = conflict found,\n"
            "            2 = usage/IO error, 3 = internal error\n";
+}
+
+/// --connect mode: ship the model to a running stgd and replay its stored
+/// verdict locally -- same stdout shape as a cache-hit run, same exit code
+/// as a local verification (docs/SERVICE.md).
+int run_connected(const char* connect, const char* path, const char* json_path,
+                  bool normalcy, bool contract, bool deadlock, bool persistency,
+                  bool use_cache, std::uint64_t deadline_ms) {
+    using namespace stgcc;
+    const auto bytes = cache::read_file_bytes(path);
+    if (!bytes) {
+        std::cerr << "error: cannot read " << path << "\n";
+        return 2;
+    }
+    svc::Client client;
+    std::string error;
+    if (!client.connect(connect, error)) {
+        std::cerr << "error: " << error << "\n";
+        return 2;
+    }
+    svc::CheckOptions copts;
+    copts.normalcy = normalcy;
+    copts.contract = contract;
+    copts.deadlock = deadlock;
+    copts.persistency = persistency;
+    copts.use_cache = use_cache;
+    obs::Json request = obs::Json::object()
+                            .set("op", "check")
+                            .set("id", 1)
+                            .set("model", *bytes)
+                            .set("file", path)
+                            .set("options", copts.to_json());
+    if (deadline_ms > 0) request.set("deadline_ms", deadline_ms);
+    Stopwatch timer;
+    const auto response = client.call(request, error);
+    if (!response) {
+        std::cerr << "error: " << error << "\n";
+        return 2;
+    }
+    if (!svc::response_ok(*response)) {
+        std::cerr << "error: " << svc::response_error(*response) << "\n";
+        return 2;
+    }
+    const obs::Json* report = response->find("report");
+    const obs::Json* exit_code = response->find("exit");
+    if (!report || !exit_code) {
+        std::cerr << "error: malformed response from " << connect << "\n";
+        return 2;
+    }
+    std::cout << report->as_string() << "unfolding+IP time: " << timer.seconds()
+              << " s\n";
+    if (const obs::Json* dl = response->find("deadlock_via"))
+        std::cout << dl->as_string() << "\n";
+    if (json_path) {
+        const obs::Json* body = response->find("json");
+        if (!body) {
+            std::cerr << "error: response carries no json report\n";
+            return 2;
+        }
+        obs::Json out = *body;
+        out.set("metrics", obs::Registry::instance().to_json());
+        if (!obs::save_json(json_path,
+                            obs::make_report("stgcheck", std::move(out)))) {
+            std::cerr << "error: cannot write " << json_path << "\n";
+            return 2;
+        }
+        std::cout << "report written to " << json_path << "\n";
+    }
+    return static_cast<int>(exit_code->as_int());
 }
 
 }  // namespace
@@ -101,6 +179,8 @@ int main(int argc, char** argv) {
     bool metrics = false;
     bool use_cache = true;
     const char* cache_dir_flag = nullptr;
+    const char* connect = nullptr;
+    std::uint64_t deadline_ms = 0;
     unsigned jobs = 0;  // 0 = hardware concurrency
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--no-normalcy"))
@@ -134,6 +214,16 @@ int main(int argc, char** argv) {
             use_cache = false;
         else if (!std::strcmp(argv[i], "--cache-dir") && i + 1 < argc)
             cache_dir_flag = argv[++i];
+        else if (!std::strcmp(argv[i], "--connect") && i + 1 < argc)
+            connect = argv[++i];
+        else if (!std::strcmp(argv[i], "--deadline-ms") && i + 1 < argc) {
+            char* end = nullptr;
+            deadline_ms = std::strtoull(argv[++i], &end, 10);
+            if (!end || *end != '\0') {
+                std::cerr << "bad --deadline-ms value: " << argv[i] << "\n";
+                return 2;
+            }
+        }
         else if (!std::strcmp(argv[i], "--dot") && i + 1 < argc)
             dot_path = argv[++i];
         else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
@@ -151,6 +241,17 @@ int main(int argc, char** argv) {
     if (!path) {
         std::cerr << "no input file\n";
         return 2;
+    }
+    if (connect) {
+        if (state_based || synthesize || cores || dot_path || trace_path ||
+            metrics) {
+            std::cerr << "error: --state-based/--synthesize/--cores/--dot/"
+                         "--trace/--metrics need the prefix locally and are "
+                         "not supported with --connect\n";
+            return 2;
+        }
+        return run_connected(connect, path, json_path, normalcy, contract,
+                             deadlock, persistency, use_cache, deadline_ms);
     }
 
     // Any observability output turns the instrumentation on; the default

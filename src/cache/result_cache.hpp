@@ -14,12 +14,17 @@
 // An entry is one pretty-printed JSON file
 //   { "cache_version": N, "content_hash": "...", "options": "...",
 //     "value": <tool-specific payload> }
-// written atomically (temp file + rename).  load() re-validates all three
-// key fields against the request; any mismatch, truncation or parse error
+// written atomically (writer-unique temp file + rename) under a per-entry
+// advisory lock (`<entry>.lock`, flock): concurrent writers of the same key
+// -- daemon worker threads of `stgd`, or two processes racing on a shared
+// cache dir -- can never interleave bytes into one temp file, and a
+// contending writer skips its store (the lock holder publishes the
+// identical deterministic payload).  load() re-validates all three key
+// fields against the request; any mismatch, truncation or parse error
 // counts as a miss, the offending entry is evicted (deleted), and the
 // caller recomputes -- a corrupted cache can cost time, never correctness.
 //
-// Counters: cache.result.{hits,misses,stores,evicted}.
+// Counters: cache.result.{hits,misses,stores,evicted,lock_busy}.
 #pragma once
 
 #include <cstdint>

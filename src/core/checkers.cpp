@@ -123,7 +123,10 @@ stg::CodingCheckResult UnfoldingChecker::check_csc(SearchOptions opts,
             obs::Span task_span("solve.csc.signal");
             task_span.attr("signal", stg_->signal_name(z));
             SearchOptions local = shared;
-            local.cancel = token;
+            // The early-stop token must not drop a caller-supplied deadline
+            // token: either cancels this instance.
+            local.cancel =
+                sched::CancellationToken::combine(shared.cancel, token);
             CompatSolver solver(*problem_, local);
             auto outcome = solver.solve(
                 CodeRelation::Equal, [&](const BitVec& ca, const BitVec& cb) {
@@ -255,7 +258,8 @@ stg::NormalcyResult UnfoldingChecker::check_normalcy(SearchOptions opts,
         // below would discard it anyway), matching the serial skip.
         sched::CancellationSource cancel_greater;
         SearchOptions gopts = opts;
-        gopts.cancel = cancel_greater.token();
+        gopts.cancel = sched::CancellationToken::combine(
+            opts.cancel, cancel_greater.token());
         std::vector<std::function<void()>> passes;
         passes.emplace_back([&] {
             less = run_normalcy_pass(CodeRelation::LessEq, opts, outputs);

@@ -10,6 +10,11 @@
 
 namespace stgcc::core {
 
+namespace {
+void run_checks(VerificationReport& report, const VerifyOptions& opts,
+                sched::Executor& ex);
+}  // namespace
+
 VerificationReport verify_stg(const stg::Stg& input, VerifyOptions opts) {
     sched::Executor ex(opts.jobs);
     return verify_stg(input, std::move(opts), ex);
@@ -33,8 +38,6 @@ VerificationReport verify_stg(const stg::Stg& input, VerifyOptions opts,
         report.contracted_stg = *contracted_owner;
         phase.attr("contracted", report.dummies_contracted);
     }
-    const stg::Stg& stg = contracted_owner ? *contracted_owner : input;
-
     // Tier-1 shared artifacts: the prefix, its consistency analysis, the
     // coding problem, condition masks and the learned-clause store are
     // computed exactly once here and shared by every checking phase (the
@@ -45,13 +48,36 @@ VerificationReport verify_stg(const stg::Stg& input, VerifyOptions opts,
             ? std::make_shared<const cache::PrefixArtifacts>(contracted_owner,
                                                              opts.unfold)
             : std::make_shared<const cache::PrefixArtifacts>(input, opts.unfold);
+    run_checks(report, opts, ex);
+    return report;
+}
+
+VerificationReport verify_artifacts(cache::PrefixArtifactsPtr artifacts,
+                                    VerifyOptions opts, sched::Executor& ex) {
+    obs::Span span("verify.artifacts");
+    span.attr("stg", artifacts->stg().name());
+    VerificationReport report;
+    report.artifacts = std::move(artifacts);
+    run_checks(report, opts, ex);
+    return report;
+}
+
+namespace {
+
+/// Shared back half of verify_stg / verify_artifacts: run every checking
+/// phase against report.artifacts (already set).  The STG the checks see is
+/// the one the bundle was built from (post-contraction when the caller
+/// contracted).
+void run_checks(VerificationReport& report, const VerifyOptions& opts,
+                sched::Executor& ex) {
     const cache::PrefixArtifacts& artifacts = *report.artifacts;
+    const stg::Stg& stg = artifacts.stg();
     report.prefix.conditions = artifacts.prefix().num_conditions();
     report.prefix.events = artifacts.prefix().num_events();
     report.prefix.cutoffs = artifacts.prefix().num_cutoffs();
     report.consistent = artifacts.consistency().consistent;
     report.inconsistency_reason = artifacts.consistency().reason;
-    if (!report.consistent) return report;
+    if (!report.consistent) return;
     report.initial_code = artifacts.consistency().initial_code;
 
     UnfoldingChecker checker(report.artifacts);
@@ -61,7 +87,6 @@ VerificationReport verify_stg(const stg::Stg& input, VerifyOptions opts,
     // order through the identical decomposition -- results are the same at
     // any jobs value (docs/PARALLELISM.md).
     report.jobs = ex.jobs();
-    span.attr("jobs", report.jobs);
     std::vector<std::function<void()>> phases;
     phases.emplace_back([&] { report.usc = checker.check_usc(opts.search); });
     phases.emplace_back(
@@ -94,8 +119,9 @@ VerificationReport verify_stg(const stg::Stg& input, VerifyOptions opts,
                 " via: " + stg.sequence_text(v.trace);
         }
     }
-    return report;
 }
+
+}  // namespace
 
 namespace {
 

@@ -86,6 +86,19 @@ struct VerificationReport {
                                             VerifyOptions opts,
                                             sched::Executor& ex);
 
+/// Run the checking phases on an already built artifact bundle, skipping
+/// contraction and unfolding entirely (VerifyOptions::contract_dummies and
+/// ::unfold are ignored -- they were decided when the bundle was built).
+/// This is the resident-service fast path (docs/SERVICE.md): `stgd` keeps
+/// recent bundles in memory and re-checks a model under different options
+/// without paying parse or unfold again.  The caller is responsible for
+/// contraction bookkeeping (report.contracted_stg / dummies_contracted are
+/// left unset).  Verdicts and witnesses are identical to a fresh
+/// verify_stg of the same (possibly contracted) STG.
+[[nodiscard]] VerificationReport verify_artifacts(
+    cache::PrefixArtifactsPtr artifacts, VerifyOptions opts,
+    sched::Executor& ex);
+
 /// Multi-line human-readable report (used by the examples and the CLI).
 [[nodiscard]] std::string format_report(const stg::Stg& stg,
                                         const VerificationReport& report);

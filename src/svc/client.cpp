@@ -1,0 +1,56 @@
+#include "svc/client.hpp"
+
+#include <csignal>
+
+namespace stgcc::svc {
+
+bool Client::connect(const std::string& endpoint_text, std::string& error) {
+    // A server closing mid-call must surface as an IO error, not SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+    const auto ep = parse_endpoint(endpoint_text, error);
+    if (!ep) return false;
+    fd_ = connect_endpoint(*ep, error);
+    if (!fd_.valid()) return false;
+    endpoint_ = endpoint_text;
+    return true;
+}
+
+bool Client::send(const obs::Json& request, std::string& error) {
+    if (!fd_.valid()) {
+        error = "not connected";
+        return false;
+    }
+    if (!write_frame(fd_.get(), request.dump())) {
+        error = "cannot write to " + endpoint_;
+        return false;
+    }
+    return true;
+}
+
+std::optional<obs::Json> Client::recv(std::string& error) {
+    if (!fd_.valid()) {
+        error = "not connected";
+        return std::nullopt;
+    }
+    std::string payload;
+    const FrameStatus status = read_frame(fd_.get(), payload, max_frame_);
+    if (status != FrameStatus::Ok) {
+        error = std::string("connection to ") + endpoint_ + " failed (" +
+                frame_status_name(status) + ")";
+        return std::nullopt;
+    }
+    auto response = obs::Json::parse(payload);
+    if (!response) {
+        error = "malformed response frame from " + endpoint_;
+        return std::nullopt;
+    }
+    return response;
+}
+
+std::optional<obs::Json> Client::call(const obs::Json& request,
+                                      std::string& error) {
+    if (!send(request, error)) return std::nullopt;
+    return recv(error);
+}
+
+}  // namespace stgcc::svc

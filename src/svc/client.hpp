@@ -1,0 +1,52 @@
+// stgcc -- thin client for the stgd wire protocol (docs/SERVICE.md).
+//
+// Wraps connect + framing + JSON for the `--connect` modes of stgcheck and
+// stgbatch and for the tests: one blocking request/response call for the
+// single-frame ops, and send()/recv() split out for the streamed batch
+// response.  The client is deliberately synchronous -- requests on one
+// connection are answered in order by the server.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/json.hpp"
+#include "svc/frame.hpp"
+#include "svc/socket.hpp"
+
+namespace stgcc::svc {
+
+class Client {
+public:
+    Client() = default;
+
+    /// Connect to an endpoint in the socket.hpp syntax
+    /// ("unix:/path" | "host:port" | ":port").  False + `error` on failure.
+    [[nodiscard]] bool connect(const std::string& endpoint_text,
+                               std::string& error);
+
+    [[nodiscard]] bool connected() const noexcept { return fd_.valid(); }
+    [[nodiscard]] const std::string& endpoint() const noexcept {
+        return endpoint_;
+    }
+
+    /// Send one request frame.
+    [[nodiscard]] bool send(const obs::Json& request, std::string& error);
+
+    /// Receive the next response frame; nullopt + `error` on EOF, torn
+    /// stream, oversized frame or malformed JSON.
+    [[nodiscard]] std::optional<obs::Json> recv(std::string& error);
+
+    /// send() then recv(): the single-frame request/response pattern.
+    [[nodiscard]] std::optional<obs::Json> call(const obs::Json& request,
+                                                std::string& error);
+
+    void close() noexcept { fd_.reset(); }
+
+private:
+    Fd fd_;
+    std::string endpoint_;
+    std::uint32_t max_frame_ = kDefaultMaxFrame;
+};
+
+}  // namespace stgcc::svc

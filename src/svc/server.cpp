@@ -1,0 +1,689 @@
+#include "svc/server.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+
+#include "core/verifier.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "stg/astg.hpp"
+#include "stg/contraction.hpp"
+
+namespace stgcc::svc {
+
+namespace {
+
+/// stgcheck's all-properties-hold predicate (drives the exit code).
+bool check_all_hold(const core::VerificationReport& r) {
+    return r.consistent && r.usc.holds && r.csc.holds &&
+           (!r.normalcy_checked || r.normalcy.normal) &&
+           (!r.deadlock_checked || r.deadlock_free) &&
+           (!r.persistency_checked || r.persistent);
+}
+
+/// stgbatch's per-model predicate (drives the row "status"; stgbatch has no
+/// persistency flag, so the row deliberately ignores it).
+bool batch_all_hold(const core::VerificationReport& r) {
+    return r.consistent && r.usc.holds && r.csc.holds &&
+           (!r.normalcy_checked || r.normalcy.normal) &&
+           (!r.deadlock_checked || r.deadlock_free);
+}
+
+/// stgbatch's streamed verdict line, plus a persistency field when that
+/// check ran (stgbatch itself never requests it, so parity is preserved).
+std::string verdict_line(const core::VerificationReport& r) {
+    if (!r.consistent) return "inconsistent (" + r.inconsistency_reason + ")";
+    std::string out;
+    out += r.usc.holds ? "USC:ok" : "USC:VIOLATED";
+    out += r.csc.holds ? " CSC:ok" : " CSC:VIOLATED";
+    if (r.normalcy_checked)
+        out += r.normalcy.normal ? " normalcy:ok" : " normalcy:VIOLATED";
+    if (r.deadlock_checked)
+        out += r.deadlock_free ? " deadlock:none" : " deadlock:REACHABLE";
+    if (r.persistency_checked)
+        out += r.persistent ? " persistency:ok" : " persistency:VIOLATED";
+    return out;
+}
+
+constexpr const char* kDeadlineQueued = "deadline expired while queued";
+constexpr const char* kDeadlineVerify = "deadline expired during verification";
+
+}  // namespace
+
+Server::Server(ServerConfig cfg)
+    : cfg_(std::move(cfg)), ex_(cfg_.jobs), rcache_(cfg_.cache_dir) {
+    // A peer closing mid-response must surface as a write error, not kill
+    // the daemon.
+    std::signal(SIGPIPE, SIG_IGN);
+    if (::pipe(shutdown_pipe_) != 0)
+        shutdown_pipe_[0] = shutdown_pipe_[1] = -1;
+    gate_cap_ = cfg_.max_inflight
+                    ? cfg_.max_inflight
+                    : std::max<std::size_t>(std::size_t{1}, ex_.jobs());
+}
+
+Server::~Server() {
+    request_shutdown();
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(threads_mu_);
+        threads.swap(threads_);
+    }
+    for (std::thread& t : threads) t.join();
+    if (shutdown_pipe_[0] >= 0) ::close(shutdown_pipe_[0]);
+    if (shutdown_pipe_[1] >= 0) ::close(shutdown_pipe_[1]);
+}
+
+bool Server::start(std::string& error) {
+    if (cfg_.listen.empty()) {
+        error = "no listen endpoints configured";
+        return false;
+    }
+    if (shutdown_pipe_[0] < 0) {
+        error = "cannot create shutdown pipe";
+        return false;
+    }
+    for (const Endpoint& ep : cfg_.listen) {
+        Fd fd = listen_endpoint(ep, error);
+        if (!fd.valid()) {
+            listeners_.clear();
+            bound_.clear();
+            return false;
+        }
+        bound_.push_back(local_endpoint(fd, ep));
+        listeners_.push_back(std::move(fd));
+    }
+    return true;
+}
+
+void Server::request_shutdown() noexcept {
+    if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+    if (shutdown_pipe_[1] >= 0) {
+        const char byte = 'x';
+        // The pipe is never drained: one byte keeps the read end readable
+        // forever, a level-triggered broadcast to every polling thread.
+        [[maybe_unused]] const auto n = ::write(shutdown_pipe_[1], &byte, 1);
+    }
+}
+
+int Server::run() {
+    std::vector<pollfd> fds;
+    fds.reserve(listeners_.size() + 1);
+    for (const Fd& l : listeners_)
+        fds.push_back(pollfd{l.get(), POLLIN, 0});
+    fds.push_back(pollfd{shutdown_pipe_[0], POLLIN, 0});
+    while (!draining()) {
+        for (pollfd& p : fds) p.revents = 0;
+        if (::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1) < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (fds.back().revents & POLLIN) break;
+        for (std::size_t i = 0; i + 1 < fds.size(); ++i) {
+            if (!(fds[i].revents & POLLIN)) continue;
+            Fd conn = accept_connection(listeners_[i]);
+            if (!conn.valid()) continue;
+            connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+            obs::counter("svc.connections").add();
+            std::lock_guard<std::mutex> lock(threads_mu_);
+            threads_.emplace_back(&Server::serve_connection, this,
+                                  std::move(conn));
+        }
+    }
+    // Drain: no new connections, wake every connection thread, let each
+    // finish the request it already read, then join them all.
+    request_shutdown();
+    listeners_.clear();
+    for (const Endpoint& ep : cfg_.listen)
+        if (ep.kind == Endpoint::Kind::Unix) ::unlink(ep.path.c_str());
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(threads_mu_);
+        threads.swap(threads_);
+    }
+    for (std::thread& t : threads) t.join();
+    return 0;
+}
+
+void Server::serve_connection(Fd fd) {
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
+    std::mutex write_mu;  // serialises frames of one connection (batch rows)
+    while (true) {
+        pollfd pfd[2] = {{fd.get(), POLLIN, 0}, {shutdown_pipe_[0], POLLIN, 0}};
+        if (::poll(pfd, 2, -1) < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (!(pfd[0].revents & (POLLIN | POLLHUP | POLLERR))) {
+            if (pfd[1].revents & POLLIN) break;  // drain, nothing pending
+            continue;
+        }
+        // A frame readable before the drain flag was set counts as accepted
+        // and is answered in full even if the drain starts mid-request.
+        const bool accepted_before_drain = !draining();
+        std::string payload;
+        const FrameStatus status =
+            read_frame(fd.get(), payload, cfg_.max_frame);
+        if (status == FrameStatus::Eof) break;
+        if (status == FrameStatus::Oversized) {
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            respond(fd.get(), write_mu,
+                    make_error(0, "bad_request",
+                               "frame exceeds maximum payload size"));
+            break;  // stream offset is unknowable past a bad header
+        }
+        if (status != FrameStatus::Ok) {
+            obs::counter("svc.torn_connections").add();
+            break;
+        }
+        if (!handle_request(fd.get(), write_mu, payload,
+                            accepted_before_drain))
+            break;
+        if (draining()) break;
+    }
+    connections_active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool Server::handle_request(int fd, std::mutex& write_mu,
+                            const std::string& payload,
+                            bool accepted_before_drain) {
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("svc.requests").add();
+    const auto req = obs::Json::parse(payload);
+    if (!req || req->kind() != obs::Json::Kind::Object) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        respond(fd, write_mu,
+                make_error(0, "bad_request", "request is not a JSON object"));
+        return true;  // framing is intact; the connection can continue
+    }
+    const obs::Json* op = req->find("op");
+    const std::string opname = op ? op->as_string() : std::string();
+    const std::int64_t id = request_id(*req);
+    try {
+        if (opname == "ping") {
+            respond(fd, write_mu,
+                    make_ok(id).set("pong", true).set("protocol",
+                                                      kProtocolVersion));
+            return true;
+        }
+        if (opname == "stats") {
+            obs::Json resp = make_ok(id);
+            obs::Json stats = stats_json();
+            for (std::size_t i = 0; i < stats.size(); ++i) {
+                const auto& [key, value] = stats.member(i);
+                resp.set(key, value);
+            }
+            respond(fd, write_mu, resp);
+            return true;
+        }
+        if (opname == "shutdown") {
+            respond(fd, write_mu, make_ok(id).set("draining", true));
+            request_shutdown();
+            return false;
+        }
+        if (opname == "check" || opname == "batch") {
+            if (!accepted_before_drain) {
+                errors_.fetch_add(1, std::memory_order_relaxed);
+                respond(fd, write_mu,
+                        make_error(id, "shutting_down",
+                                   "server is draining; request not accepted"));
+                return false;
+            }
+            if (opname == "check")
+                handle_check(fd, write_mu, *req);
+            else
+                handle_batch(fd, write_mu, *req);
+            return true;
+        }
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        respond(fd, write_mu,
+                make_error(id, "bad_request", "unknown op '" + opname + "'"));
+        return true;
+    } catch (const std::exception& e) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        respond(fd, write_mu, make_error(id, "internal", e.what()));
+        return true;
+    }
+}
+
+void Server::handle_check(int fd, std::mutex& write_mu, const obs::Json& req) {
+    const std::int64_t id = request_id(req);
+    const obs::Json* model = req.find("model");
+    if (!model || model->kind() != obs::Json::Kind::String) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        respond(fd, write_mu,
+                make_error(id, "bad_request",
+                           "check requires a string 'model' member"));
+        return;
+    }
+    const CheckOptions copts = CheckOptions::from_json(req.find("options"));
+    std::uint64_t deadline_ms = cfg_.default_deadline_ms;
+    if (const obs::Json* d = req.find("deadline_ms")) deadline_ms = d->as_uint();
+    sched::CancellationSource source;
+    sched::CancellationToken token;
+    if (deadline_ms > 0) {
+        source.cancel_after(std::chrono::milliseconds(deadline_ms));
+        token = source.token();
+    }
+    Stopwatch timer;
+    if (!admit(token)) {
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        respond(fd, write_mu,
+                make_error(id, "deadline_exceeded", kDeadlineQueued));
+        return;
+    }
+    Outcome out = run_check(model->as_string(), copts, token);
+    release();
+    if (!out.ok) {
+        if (out.error_code == "deadline_exceeded")
+            deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        respond(fd, write_mu,
+                make_error(id, out.error_code, out.error_message));
+        return;
+    }
+    obs::Json resp = make_ok(id);
+    resp.set("exit", out.r.exit_code)
+        .set("all_hold", out.r.all_hold)
+        .set("verdict", out.r.verdict)
+        .set("report", out.r.report);
+    if (!out.r.deadlock_via.empty()) resp.set("deadlock_via", out.r.deadlock_via);
+    resp.set("row", out.r.row)
+        .set("json", out.r.json)
+        .set("cached", out.cache_tier ? obs::Json(std::string(out.cache_tier))
+                                      : obs::Json(false))
+        .set("seconds", timer.seconds());
+    respond(fd, write_mu, resp);
+}
+
+void Server::handle_batch(int fd, std::mutex& write_mu, const obs::Json& req) {
+    const std::int64_t id = request_id(req);
+    const obs::Json* models = req.find("models");
+    if (!models || models->kind() != obs::Json::Kind::Array ||
+        models->size() == 0) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        respond(fd, write_mu,
+                make_error(id, "bad_request",
+                           "batch requires a non-empty 'models' array"));
+        return;
+    }
+    struct Item {
+        std::int64_t index = 0;
+        std::string file;
+        const std::string* text = nullptr;
+    };
+    std::vector<Item> items;
+    items.reserve(models->size());
+    for (std::size_t i = 0; i < models->size(); ++i) {
+        const obs::Json& entry = models->at(i);
+        const obs::Json* text = entry.kind() == obs::Json::Kind::Object
+                                    ? entry.find("model")
+                                    : nullptr;
+        if (!text || text->kind() != obs::Json::Kind::String) {
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            respond(fd, write_mu,
+                    make_error(id, "bad_request",
+                               "batch models[" + std::to_string(i) +
+                                   "] lacks a string 'model' member"));
+            return;
+        }
+        Item item;
+        const obs::Json* index = entry.find("index");
+        item.index = index ? index->as_int()
+                           : static_cast<std::int64_t>(i);
+        if (const obs::Json* file = entry.find("file"))
+            item.file = file->as_string();
+        item.text = &text->as_string();
+        items.push_back(std::move(item));
+    }
+    const CheckOptions copts = CheckOptions::from_json(req.find("options"));
+    std::uint64_t deadline_ms = cfg_.default_deadline_ms;
+    if (const obs::Json* d = req.find("deadline_ms")) deadline_ms = d->as_uint();
+    sched::CancellationSource source;
+    sched::CancellationToken token;
+    if (deadline_ms > 0) {
+        source.cancel_after(std::chrono::milliseconds(deadline_ms));
+        token = source.token();
+    }
+    Stopwatch timer;
+    if (!admit(token)) {
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        respond(fd, write_mu,
+                make_error(id, "deadline_exceeded", kDeadlineQueued));
+        return;
+    }
+    // One admission slot covers the whole batch; the models fan out on the
+    // shared pool exactly like stgbatch's model-parallel loop, and each row
+    // streams back in completion order as soon as its model finishes.
+    std::atomic<std::uint64_t> ok_count{0}, violated{0}, errs{0};
+    sched::parallel_for(ex_, items.size(), [&](std::size_t i) {
+        Stopwatch row_timer;
+        Outcome out = run_check(*items[i].text, copts, token);
+        obs::Json frame = make_ok(id);
+        frame.set("event", "row")
+            .set("index", items[i].index)
+            .set("file", items[i].file);
+        if (out.ok) {
+            if (out.r.all_hold)
+                ok_count.fetch_add(1, std::memory_order_relaxed);
+            else
+                violated.fetch_add(1, std::memory_order_relaxed);
+            frame.set("exit", out.r.exit_code)
+                .set("all_hold", out.r.all_hold)
+                .set("verdict", out.r.verdict)
+                .set("row", out.r.row)
+                .set("cached",
+                     out.cache_tier ? obs::Json(std::string(out.cache_tier))
+                                    : obs::Json(false))
+                .set("seconds", row_timer.seconds());
+        } else {
+            errs.fetch_add(1, std::memory_order_relaxed);
+            if (out.error_code == "deadline_exceeded")
+                deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+            frame.set("error", obs::Json::object()
+                                   .set("code", out.error_code)
+                                   .set("message", out.error_message));
+        }
+        respond(fd, write_mu, frame);
+    });
+    release();
+    obs::Json done = make_ok(id);
+    done.set("event", "done")
+        .set("summary",
+             obs::Json::object()
+                 .set("total", items.size())
+                 .set("ok", ok_count.load())
+                 .set("violated", violated.load())
+                 .set("errors", errs.load())
+                 .set("seconds", timer.seconds()));
+    respond(fd, write_mu, done);
+}
+
+Server::Outcome Server::run_check(const std::string& model_text,
+                                  const CheckOptions& copts,
+                                  const sched::CancellationToken& deadline) {
+    Outcome out;
+    const std::uint64_t hash = cache::fnv1a64(model_text);
+    const std::string sig = copts.signature();
+    const std::string key = std::to_string(hash) + '|' + sig;
+    if (copts.use_cache) {
+        {
+            std::lock_guard<std::mutex> lock(results_mu_);
+            const auto it = results_.find(key);
+            if (it != results_.end()) {
+                memory_hits_.fetch_add(1, std::memory_order_relaxed);
+                obs::counter("svc.check.memory_hits").add();
+                out.ok = true;
+                out.r = it->second;
+                out.cache_tier = "memory";
+                return out;
+            }
+        }
+        if (const auto hit = rcache_.load("stgd", hash, sig)) {
+            Rendered r;
+            if (rendered_from_payload(*hit, r)) {
+                {
+                    std::lock_guard<std::mutex> lock(results_mu_);
+                    if (results_.size() >= cfg_.result_slots) results_.clear();
+                    results_.emplace(key, r);
+                }
+                disk_hits_.fetch_add(1, std::memory_order_relaxed);
+                obs::counter("svc.check.disk_hits").add();
+                out.ok = true;
+                out.r = std::move(r);
+                out.cache_tier = "disk";
+                return out;
+            }
+        }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("svc.check.misses").add();
+    if (deadline.cancelled()) {
+        out.error_code = "deadline_exceeded";
+        out.error_message = kDeadlineQueued;
+        return out;
+    }
+    try {
+        const auto bundle = get_bundle(model_text, hash, copts.contract);
+        core::VerifyOptions vopts;
+        vopts.check_normalcy = copts.normalcy;
+        vopts.check_deadlock = copts.deadlock;
+        vopts.check_persistency = copts.persistency;
+        vopts.search.use_learned_clauses = copts.use_cache;
+        vopts.search.cancel = deadline;
+        auto report = core::verify_artifacts(bundle->artifacts, vopts, ex_);
+        if (deadline.cancelled()) {
+            // A cancelled solve stops early with indeterminate verdicts;
+            // discard rather than serve a partial result.
+            out.error_code = "deadline_exceeded";
+            out.error_message = kDeadlineVerify;
+            return out;
+        }
+        report.dummies_contracted = bundle->dummies_contracted;
+        if (bundle->checked != bundle->model)
+            report.contracted_stg = *bundle->checked;
+        out.r = render(*bundle, report);
+        out.ok = true;
+        checks_run_.fetch_add(1, std::memory_order_relaxed);
+        if (copts.use_cache) {
+            {
+                std::lock_guard<std::mutex> lock(results_mu_);
+                if (results_.size() >= cfg_.result_slots) results_.clear();
+                results_.emplace(key, out.r);
+            }
+            rcache_.store("stgd", hash, sig, rendered_payload(out.r));
+        }
+    } catch (const std::exception& e) {
+        if (deadline.cancelled()) {
+            out.error_code = "deadline_exceeded";
+            out.error_message = kDeadlineVerify;
+            return out;
+        }
+        out.error_code = "model_error";
+        out.error_message = e.what();
+    }
+    return out;
+}
+
+std::shared_ptr<Server::Bundle> Server::get_bundle(
+    const std::string& model_text, std::uint64_t hash, bool contract) {
+    {
+        std::lock_guard<std::mutex> lock(bundles_mu_);
+        for (const auto& b : bundles_) {
+            if (b->hash == hash && b->contract == contract) {
+                b->last_used = ++bundle_clock_;
+                obs::counter("svc.bundle.hits").add();
+                return b;
+            }
+        }
+    }
+    obs::counter("svc.bundle.misses").add();
+    // Build outside the lock: unfolding can take seconds, and two requests
+    // racing on the same new model at worst build it twice.
+    auto b = std::make_shared<Bundle>();
+    b->hash = hash;
+    b->contract = contract;
+    b->model =
+        std::make_shared<const stg::Stg>(stg::parse_astg_string(model_text));
+    if (contract && b->model->has_dummies()) {
+        auto result = stg::contract_dummies(*b->model);
+        b->dummies_contracted = result.contracted;
+        b->checked = std::make_shared<const stg::Stg>(std::move(result.stg));
+    } else {
+        b->checked = b->model;
+    }
+    b->artifacts = std::make_shared<const cache::PrefixArtifacts>(
+        b->checked, unf::UnfoldOptions{});
+    std::lock_guard<std::mutex> lock(bundles_mu_);
+    b->last_used = ++bundle_clock_;
+    if (cfg_.bundle_slots > 0 && bundles_.size() >= cfg_.bundle_slots) {
+        const auto lru = std::min_element(
+            bundles_.begin(), bundles_.end(),
+            [](const auto& x, const auto& y) {
+                return x->last_used < y->last_used;
+            });
+        obs::counter("svc.bundle.evicted").add();
+        bundles_.erase(lru);
+    }
+    bundles_.push_back(b);
+    return b;
+}
+
+Server::Rendered Server::render(const Bundle& bundle,
+                                const core::VerificationReport& r) {
+    Rendered out;
+    out.report = core::format_report(*bundle.model, r);
+    const stg::Stg& checked = *bundle.checked;
+    if (r.deadlock_checked && !r.deadlock_free)
+        out.deadlock_via =
+            "deadlock via: " + checked.sequence_text(r.deadlock_trace);
+    out.all_hold = check_all_hold(r);
+    out.exit_code = r.consistent ? (out.all_hold ? 0 : 1) : 1;
+    out.verdict = verdict_line(r);
+    // stgbatch's report row sans the leading "file" member -- the model text
+    // is content-addressed, so the same cached row serves clients that know
+    // the model under different paths; they prepend their own label.
+    obs::Json row = obs::Json::object();
+    row.set("name", bundle.model->name());
+    row.set("status", batch_all_hold(r) ? "ok" : "violated");
+    obs::Json verdicts = obs::Json::object();
+    verdicts.set("consistent", r.consistent);
+    if (r.consistent) {
+        verdicts.set("usc", r.usc.holds);
+        verdicts.set("csc", r.csc.holds);
+        if (r.normalcy_checked) verdicts.set("normalcy", r.normalcy.normal);
+        if (r.deadlock_checked)
+            verdicts.set("deadlock_free", r.deadlock_free);
+    }
+    row.set("verdicts", std::move(verdicts));
+    row.set("prefix", obs::Json::object()
+                          .set("conditions", r.prefix.conditions)
+                          .set("events", r.prefix.events)
+                          .set("cutoffs", r.prefix.cutoffs));
+    out.row = std::move(row);
+    out.json = core::report_json(*bundle.model, r);
+    out.json.set("jobs", r.jobs);
+    return out;
+}
+
+obs::Json Server::rendered_payload(const Rendered& r) {
+    obs::Json v = obs::Json::object()
+                      .set("exit", r.exit_code)
+                      .set("all_hold", r.all_hold)
+                      .set("verdict", r.verdict)
+                      .set("report", r.report);
+    if (!r.deadlock_via.empty()) v.set("deadlock_via", r.deadlock_via);
+    v.set("row", r.row);
+    v.set("json", r.json);
+    return v;
+}
+
+bool Server::rendered_from_payload(const obs::Json& v, Rendered& out) {
+    const obs::Json* exit_code = v.find("exit");
+    const obs::Json* all_hold = v.find("all_hold");
+    const obs::Json* verdict = v.find("verdict");
+    const obs::Json* report = v.find("report");
+    const obs::Json* row = v.find("row");
+    const obs::Json* json = v.find("json");
+    if (!exit_code || !all_hold || !verdict || !report || !row || !json)
+        return false;
+    out.exit_code = static_cast<int>(exit_code->as_int());
+    out.all_hold = all_hold->as_bool();
+    out.verdict = verdict->as_string();
+    out.report = report->as_string();
+    if (const obs::Json* dl = v.find("deadlock_via"))
+        out.deadlock_via = dl->as_string();
+    out.row = *row;
+    out.json = *json;
+    return true;
+}
+
+bool Server::admit(const sched::CancellationToken& deadline) {
+    Stopwatch wait;
+    std::unique_lock<std::mutex> lock(gate_mu_);
+    while (gate_inflight_ >= gate_cap_) {
+        if (deadline.cancelled()) return false;
+        gate_cv_.wait_for(lock, std::chrono::milliseconds(5));
+    }
+    ++gate_inflight_;
+    lock.unlock();
+    if (obs::enabled())
+        obs::histogram("svc.admission_wait_ns").observe(wait.nanos());
+    return true;
+}
+
+void Server::release() {
+    {
+        std::lock_guard<std::mutex> lock(gate_mu_);
+        --gate_inflight_;
+    }
+    gate_cv_.notify_one();
+}
+
+bool Server::respond(int fd, std::mutex& write_mu, const obs::Json& response) {
+    const std::string payload = response.dump();
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (!write_frame(fd, payload)) {
+        obs::counter("svc.write_failures").add();
+        return false;
+    }
+    obs::counter("svc.responses").add();
+    return true;
+}
+
+obs::Json Server::stats_json() {
+    obs::Json listen = obs::Json::array();
+    for (const std::string& b : bound_) listen.push(b);
+    obs::Json server = obs::Json::object()
+                           .set("pid", static_cast<std::int64_t>(::getpid()))
+                           .set("protocol", kProtocolVersion)
+                           .set("uptime_seconds", uptime_.seconds())
+                           .set("jobs", ex_.jobs())
+                           .set("max_inflight", gate_cap_)
+                           .set("draining", draining())
+                           .set("cache_dir", rcache_.dir())
+                           .set("listen", std::move(listen));
+    std::size_t inflight;
+    {
+        std::lock_guard<std::mutex> lock(gate_mu_);
+        inflight = gate_inflight_;
+    }
+    obs::Json requests =
+        obs::Json::object()
+            .set("connections_accepted", connections_accepted_.load())
+            .set("connections_active", connections_active_.load())
+            .set("served", requests_served_.load())
+            .set("inflight", inflight)
+            .set("checks_run", checks_run_.load())
+            .set("deadline_exceeded", deadline_exceeded_.load())
+            .set("errors", errors_.load());
+    std::size_t results_cached, bundles_cached;
+    {
+        std::lock_guard<std::mutex> lock(results_mu_);
+        results_cached = results_.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(bundles_mu_);
+        bundles_cached = bundles_.size();
+    }
+    obs::Json cache = obs::Json::object()
+                          .set("memory_results", results_cached)
+                          .set("bundles", bundles_cached)
+                          .set("memory_hits", memory_hits_.load())
+                          .set("disk_hits", disk_hits_.load())
+                          .set("misses", misses_.load());
+    return obs::Json::object()
+        .set("server", std::move(server))
+        .set("requests", std::move(requests))
+        .set("cache", std::move(cache))
+        .set("metrics", obs::Registry::instance().to_json());
+}
+
+}  // namespace stgcc::svc

@@ -1,0 +1,82 @@
+// stgcc -- minimal POSIX socket plumbing for the verification service
+// (docs/SERVICE.md): endpoint addressing, listeners and client connects
+// over Unix-domain and TCP sockets, and an RAII fd wrapper.
+//
+// Endpoint syntax, shared by `stgd --listen`, `stgcheck --connect` and
+// `stgbatch --connect`:
+//   unix:/path/to.sock     Unix-domain stream socket at that path
+//   host:port              TCP (numeric or resolvable host; "127.0.0.1:7733")
+//   :port                  TCP on all interfaces (listeners) / loopback
+//                          (clients)
+// TCP listeners may bind port 0; `local_endpoint()` reports the kernel-
+// assigned port so tests and parent processes can discover it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace stgcc::svc {
+
+/// RAII file descriptor (closes on destruction; movable, not copyable).
+class Fd {
+public:
+    Fd() = default;
+    explicit Fd(int fd) noexcept : fd_(fd) {}
+    ~Fd() { reset(); }
+    Fd(Fd&& other) noexcept : fd_(other.release()) {}
+    Fd& operator=(Fd&& other) noexcept {
+        if (this != &other) {
+            reset();
+            fd_ = other.release();
+        }
+        return *this;
+    }
+    Fd(const Fd&) = delete;
+    Fd& operator=(const Fd&) = delete;
+
+    [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+    [[nodiscard]] int get() const noexcept { return fd_; }
+    [[nodiscard]] int release() noexcept {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+    void reset() noexcept;
+
+private:
+    int fd_ = -1;
+};
+
+struct Endpoint {
+    enum class Kind { Unix, Tcp };
+    Kind kind = Kind::Unix;
+    std::string path;  ///< Unix socket path (Kind::Unix)
+    std::string host;  ///< TCP host; empty = all interfaces / loopback
+    std::uint16_t port = 0;  ///< TCP port; 0 = kernel-assigned (listeners)
+
+    /// Round-trip text form ("unix:/path" or "host:port").
+    [[nodiscard]] std::string text() const;
+};
+
+/// Parse the endpoint syntax above; nullopt (with `error` set) on nonsense.
+[[nodiscard]] std::optional<Endpoint> parse_endpoint(const std::string& text,
+                                                     std::string& error);
+
+/// Bind + listen.  Unix listeners unlink a stale socket path first; TCP
+/// listeners set SO_REUSEADDR.  Invalid Fd (with `error` set) on failure.
+[[nodiscard]] Fd listen_endpoint(const Endpoint& ep, std::string& error);
+
+/// The listener's actual address (resolves TCP port 0 via getsockname).
+[[nodiscard]] std::string local_endpoint(const Fd& listener,
+                                         const Endpoint& requested);
+
+/// Connect a blocking stream socket to `ep`.  Invalid Fd + `error` on
+/// failure.  TCP with an empty host connects to loopback.
+[[nodiscard]] Fd connect_endpoint(const Endpoint& ep, std::string& error);
+
+/// accept(2) with EINTR retry.  Invalid Fd on failure (caller checks
+/// errno / shutdown state).
+[[nodiscard]] Fd accept_connection(const Fd& listener);
+
+}  // namespace stgcc::svc

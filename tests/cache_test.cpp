@@ -5,15 +5,19 @@
 // and the on-disk result cache's keying, eviction and atomicity.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "cache/clause_store.hpp"
 #include "cache/prefix_artifacts.hpp"
 #include "cache/result_cache.hpp"
 #include "core/compat_solver.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "stg/benchmarks.hpp"
 #include "unfolding/configuration.hpp"
 #include "test_util.hpp"
@@ -254,6 +258,55 @@ TEST_F(ResultCacheTest, StaleFormatVersionIsEvicted) {
     }
     EXPECT_FALSE(cache.load("stgcheck", 9, "o").has_value());
     EXPECT_FALSE(fs::exists(path));
+}
+
+TEST_F(ResultCacheTest, TwoWriterDrillNeverPublishesCorruptEntries) {
+    // Corruption drill for the racing-writer case the daemon creates: many
+    // writers publishing the same key concurrently (distinct payloads make
+    // interleaving detectable), a reader hammering load() throughout.
+    // Every load must return one writer's complete payload or miss cleanly;
+    // nothing may be evicted (eviction means a torn entry was published).
+    const cache::ResultCache cache(dir_.string());
+    obs::counter("cache.result.evicted").reset();
+    constexpr int kWriters = 4;
+    constexpr int kIterations = 200;
+    std::atomic<bool> stop{false};
+    std::atomic<int> bad_loads{0};
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            const auto hit = cache.load("drill", 0x5eed, "two-writer");
+            if (!hit) continue;
+            const obs::Json* writer = hit->find("writer");
+            const obs::Json* blob = hit->find("blob");
+            if (!writer || !blob ||
+                blob->as_string() !=
+                    std::string(4096, static_cast<char>(
+                                          'a' + writer->as_int())))
+                bad_loads.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w)
+        writers.emplace_back([&, w] {
+            const obs::Json value =
+                obs::Json::object()
+                    .set("writer", w)
+                    .set("blob",
+                         std::string(4096, static_cast<char>('a' + w)));
+            for (int i = 0; i < kIterations; ++i)
+                cache.store("drill", 0x5eed, "two-writer", value);
+        });
+    for (auto& t : writers) t.join();
+    stop.store(true, std::memory_order_release);
+    reader.join();
+    EXPECT_EQ(bad_loads.load(), 0) << "a load observed a torn entry";
+    EXPECT_EQ(obs::counter("cache.result.evicted").value(), 0u)
+        << "a torn entry was published and had to be evicted";
+    // The key still round-trips after the storm.
+    ASSERT_TRUE(cache.store("drill", 0x5eed, "two-writer",
+                            obs::Json::object().set("writer", 99).set(
+                                "blob", std::string(4096, 'z' ))));
+    EXPECT_TRUE(cache.load("drill", 0x5eed, "two-writer").has_value());
 }
 
 TEST(ResultCacheHash, Fnv1a64KnownVectors) {

@@ -273,6 +273,101 @@ TEST(SchedCancellation, PropagatesAcrossThreads) {
     EXPECT_TRUE(observed.load());
 }
 
+TEST(SchedCancellation, CombineCancelsWhenEitherInputDoes) {
+    CancellationSource a, b;
+    CancellationToken both =
+        CancellationToken::combine(a.token(), b.token());
+    EXPECT_TRUE(both.cancellable());
+    EXPECT_FALSE(both.cancelled());
+    b.cancel();
+    EXPECT_TRUE(both.cancelled());
+    EXPECT_FALSE(a.token().cancelled());  // combine never links the sources
+
+    // Empty inputs contribute nothing: combine(x, {}) behaves like x.
+    CancellationSource c;
+    CancellationToken like_c =
+        CancellationToken::combine(c.token(), CancellationToken{});
+    EXPECT_TRUE(like_c.cancellable());
+    EXPECT_FALSE(like_c.cancelled());
+    c.cancel();
+    EXPECT_TRUE(like_c.cancelled());
+    EXPECT_FALSE(
+        CancellationToken::combine(CancellationToken{}, CancellationToken{})
+            .cancellable());
+}
+
+TEST(SchedCancellation, CancelAfterFiresTheDeadline) {
+    CancellationSource source;
+    CancellationToken token = source.token();
+    source.cancel_after(std::chrono::milliseconds(20));
+    EXPECT_FALSE(source.cancelled());  // not yet (20ms out)
+    const auto start = std::chrono::steady_clock::now();
+    while (!token.cancelled() &&
+           std::chrono::steady_clock::now() - start < std::chrono::seconds(10))
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(token.cancelled());
+}
+
+TEST(SchedCancellation, CancelAfterZeroOrNegativeCancelsImmediately) {
+    CancellationSource zero;
+    zero.cancel_after(std::chrono::milliseconds(0));
+    EXPECT_TRUE(zero.cancelled());
+    CancellationSource negative;
+    negative.cancel_after(std::chrono::milliseconds(-5));
+    EXPECT_TRUE(negative.cancelled());
+}
+
+TEST(SchedCancellation, DeadlineOrderingAndAbandonedSourcesAreSafe) {
+    // An abandoned source disarms its deadline (the timer holds a weak
+    // reference); a later deadline armed on a live source still fires even
+    // though an earlier-armed entry died.
+    CancellationSource live;
+    CancellationToken token = live.token();
+    {
+        CancellationSource doomed;
+        doomed.cancel_after(std::chrono::milliseconds(5));
+        // destroyed before (or around) its deadline -- must not crash
+    }
+    live.cancel_after(std::chrono::milliseconds(15));
+    const auto start = std::chrono::steady_clock::now();
+    while (!token.cancelled() &&
+           std::chrono::steady_clock::now() - start < std::chrono::seconds(10))
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(token.cancelled());
+}
+
+TEST(SchedCancellation, EarliestOfMultipleDeadlinesWins) {
+    CancellationSource source;
+    source.cancel_after(std::chrono::hours(24));
+    source.cancel_after(std::chrono::milliseconds(10));
+    const auto start = std::chrono::steady_clock::now();
+    while (!source.cancelled() &&
+           std::chrono::steady_clock::now() - start < std::chrono::seconds(10))
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(source.cancelled());
+    EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::hours(1));
+}
+
+TEST(SchedExecutor, ConcurrentExternalWaitersShareOnePool) {
+    // The service layer runs several verification requests on one shared
+    // Executor from distinct connection threads; each external thread
+    // submits its own parallel_for and helps while waiting.
+    Executor ex(4);
+    constexpr int kThreads = 4;
+    constexpr std::size_t kN = 256;
+    std::vector<std::atomic<std::uint64_t>> sums(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            parallel_for(ex, kN, [&, t](std::size_t i) {
+                sums[t].fetch_add(i + 1, std::memory_order_relaxed);
+            });
+        });
+    for (auto& th : threads) th.join();
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(sums[t].load(), kN * (kN + 1) / 2);
+}
+
 TEST(SchedParallelFor, CoversEveryIndexExactlyOnce) {
     for (unsigned jobs : {1u, 4u}) {
         Executor ex(jobs);

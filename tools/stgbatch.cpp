@@ -37,6 +37,8 @@
 #include "sched/parallel.hpp"
 #include "sched/thread_pool.hpp"
 #include "stg/astg.hpp"
+#include "svc/client.hpp"
+#include "svc/protocol.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -63,6 +65,10 @@ void print_usage(std::ostream& out) {
            "  --cache-dir DIR  on-disk result cache (default: $STGCC_CACHE_DIR;\n"
            "                   unset = no result cache)\n"
            "  --no-cache       disable result cache and learned-clause sharing\n"
+           "  --connect EP     verify through a running stgd at EP\n"
+           "                   (unix:/path or host:port); verdicts and the\n"
+           "                   aggregate report match a local run\n"
+           "  --deadline-ms D  per-request deadline (--connect only)\n"
            "\n"
            "exit codes: 0 = all properties hold on every model,\n"
            "            1 = conflict found, 2 = usage/IO error\n";
@@ -171,6 +177,177 @@ std::vector<std::string> collect_manifest(const std::string& arg,
     return files;
 }
 
+/// --connect mode: ship the whole corpus to a running stgd as one batch
+/// request and merge the streamed rows back into manifest order.  Progress
+/// lines appear in completion order (flushed per row); the aggregate
+/// report is canonically identical to a local run (docs/SERVICE.md).
+int run_connected(const char* connect, const char* manifest,
+                  const std::vector<std::string>& files, const char* json_path,
+                  bool normalcy, bool contract, bool deadlock, bool quiet,
+                  bool use_cache, std::uint64_t deadline_ms) {
+    svc::Client client;
+    std::string error;
+    if (!client.connect(connect, error)) {
+        std::cerr << "error: " << error << "\n";
+        return 2;
+    }
+    svc::CheckOptions copts;
+    copts.normalcy = normalcy;
+    copts.contract = contract;
+    copts.deadlock = deadlock;
+    copts.use_cache = use_cache;
+
+    if (!quiet)
+        std::cout << "stgbatch: " << files.size() << " models, connect "
+                  << connect << "\n";
+    std::vector<ModelResult> results(files.size());
+    std::size_t done = 0;
+    const auto progress = [&](std::size_t i) {
+        ++done;
+        if (quiet) return;
+        std::cout << "[" << done << "/" << files.size() << "] "
+                  << fs::path(files[i]).filename().string() << "  "
+                  << results[i].verdict << "  (" << results[i].seconds
+                  << " s)\n";
+        std::cout.flush();  // stream rows promptly (watchable progress)
+    };
+
+    Stopwatch total_timer;
+    obs::Json models = obs::Json::array();
+    std::size_t sent = 0;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        ModelResult& r = results[i];
+        r.file = files[i];
+        const auto bytes = cache::read_file_bytes(files[i]);
+        if (!bytes) {
+            // Same shape a local load failure produces; never sent.
+            r.error = "cannot open " + files[i];
+            r.verdict = "ERROR (" + r.error + ")";
+            r.row = obs::Json::object()
+                        .set("file", files[i])
+                        .set("status", "error")
+                        .set("error", r.error);
+            progress(i);
+            continue;
+        }
+        models.push(obs::Json::object()
+                        .set("index", i)
+                        .set("file", files[i])
+                        .set("model", *bytes));
+        ++sent;
+    }
+
+    if (sent > 0) {
+        obs::Json request = obs::Json::object()
+                                .set("op", "batch")
+                                .set("id", 1)
+                                .set("models", std::move(models))
+                                .set("options", copts.to_json());
+        if (deadline_ms > 0) request.set("deadline_ms", deadline_ms);
+        if (!client.send(request, error)) {
+            std::cerr << "error: " << error << "\n";
+            return 2;
+        }
+        while (true) {
+            const auto frame = client.recv(error);
+            if (!frame) {
+                std::cerr << "error: " << error << "\n";
+                return 2;
+            }
+            if (!svc::response_ok(*frame)) {
+                std::cerr << "error: " << svc::response_error(*frame) << "\n";
+                return 2;
+            }
+            const obs::Json* event = frame->find("event");
+            if (event && event->as_string() == "done") break;
+            const obs::Json* index = frame->find("index");
+            if (!event || event->as_string() != "row" || !index) {
+                std::cerr << "error: malformed frame from " << connect << "\n";
+                return 2;
+            }
+            const auto i = static_cast<std::size_t>(index->as_int());
+            if (i >= results.size()) continue;
+            ModelResult& r = results[i];
+            if (const obs::Json* err = frame->find("error")) {
+                const obs::Json* msg = err->find("message");
+                r.error = msg ? msg->as_string() : "server error";
+                r.verdict = "ERROR (" + r.error + ")";
+                r.row = obs::Json::object()
+                            .set("file", files[i])
+                            .set("status", "error")
+                            .set("error", r.error);
+            } else {
+                const obs::Json* verdict = frame->find("verdict");
+                const obs::Json* all_hold = frame->find("all_hold");
+                const obs::Json* row = frame->find("row");
+                if (!verdict || !all_hold || !row) {
+                    std::cerr << "error: malformed row from " << connect
+                              << "\n";
+                    return 2;
+                }
+                r.loaded = true;
+                r.verdict = verdict->as_string();
+                r.all_hold = all_hold->as_bool();
+                const obs::Json* cached = frame->find("cached");
+                r.from_cache =
+                    cached && cached->kind() == obs::Json::Kind::String;
+                if (const obs::Json* s = frame->find("seconds"))
+                    r.seconds = s->as_double();
+                // The server's row is content-addressed (no path); restore
+                // the manifest path as the leading member, like a local run.
+                obs::Json merged = obs::Json::object().set("file", files[i]);
+                for (std::size_t m = 0; m < row->size(); ++m) {
+                    const auto& [key, value] = row->member(m);
+                    merged.set(key, value);
+                }
+                r.row = std::move(merged);
+            }
+            progress(i);
+        }
+    }
+    const double total_seconds = total_timer.seconds();
+
+    std::size_t ok = 0, violated = 0, errors = 0;
+    for (const ModelResult& r : results) {
+        if (!r.loaded)
+            ++errors;
+        else if (r.all_hold)
+            ++ok;
+        else
+            ++violated;
+    }
+    std::cout << "stgbatch: " << ok << " ok, " << violated << " violated, "
+              << errors << " errors in " << total_seconds << " s (connect "
+              << connect << ")\n";
+
+    if (json_path) {
+        obs::Json rows = obs::Json::array();
+        for (const ModelResult& r : results) {
+            obs::Json row = r.row;
+            if (r.loaded) row.set("seconds", r.seconds);
+            rows.push(std::move(row));
+        }
+        obs::Json body = obs::Json::object();
+        body.set("manifest", manifest);
+        body.set("jobs", 0);  // remote pool; volatile key, stripped anyway
+        body.set("models", std::move(rows));
+        body.set("summary", obs::Json::object()
+                                .set("total", results.size())
+                                .set("ok", ok)
+                                .set("violated", violated)
+                                .set("errors", errors)
+                                .set("seconds", total_seconds));
+        if (!obs::save_json(json_path,
+                            obs::make_report("stgbatch", std::move(body)))) {
+            std::cerr << "error: cannot write " << json_path << "\n";
+            return 2;
+        }
+        if (!quiet) std::cout << "report written to " << json_path << "\n";
+    }
+    if (errors > 0) return 2;
+    return violated > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -187,6 +364,8 @@ int main(int argc, char** argv) {
     bool quiet = false;
     bool use_cache = true;
     const char* cache_dir_flag = nullptr;
+    const char* connect = nullptr;
+    std::uint64_t deadline_ms = 0;
     unsigned jobs = 0;  // 0 = hardware concurrency
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--no-normalcy"))
@@ -212,7 +391,16 @@ int main(int argc, char** argv) {
             jobs = static_cast<unsigned>(v);
         } else if (!std::strcmp(argv[i], "--cache-dir") && i + 1 < argc)
             cache_dir_flag = argv[++i];
-        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+        else if (!std::strcmp(argv[i], "--connect") && i + 1 < argc)
+            connect = argv[++i];
+        else if (!std::strcmp(argv[i], "--deadline-ms") && i + 1 < argc) {
+            char* end = nullptr;
+            deadline_ms = std::strtoull(argv[++i], &end, 10);
+            if (!end || *end != '\0') {
+                std::cerr << "bad --deadline-ms value: " << argv[i] << "\n";
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
             json_path = argv[++i];
         else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
             trace_path = argv[++i];
@@ -236,6 +424,16 @@ int main(int argc, char** argv) {
     if (files.empty()) {
         std::cerr << "error: " << manifest_error << "\n";
         return 2;
+    }
+    if (connect) {
+        if (trace_path) {
+            std::cerr << "error: --trace needs local spans and is not "
+                         "supported with --connect\n";
+            return 2;
+        }
+        return run_connected(connect, manifest, files, json_path, normalcy,
+                             contract, deadlock, quiet, use_cache,
+                             deadline_ms);
     }
 
     core::VerifyOptions vopts;
@@ -352,6 +550,9 @@ int main(int argc, char** argv) {
                       << fs::path(files[i]).filename().string() << "  "
                       << r.verdict << "  (" << r.seconds << " s, qd "
                       << qd_ms << " ms)\n";
+            // Flush per row: a redirected stgbatch (CI logs, a pipe into
+            // `tee`) shows each verdict as it lands, not on buffer fill.
+            std::cout.flush();
         }
     });
     const double total_seconds = total_timer.seconds();
