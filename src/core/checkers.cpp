@@ -243,33 +243,20 @@ stg::NormalcyResult UnfoldingChecker::check_normalcy(SearchOptions opts,
     obs::Span span("solve.normalcy");
     const std::vector<stg::SignalId> outputs = stg_->circuit_driven_signals();
 
+    // One work-preserving plan at every jobs value: the LessEq pass first,
+    // the GreaterEq pass only for flags it left open.  Running both
+    // orientations speculatively (as the parallel path once did) doubles
+    // the exhaustive-search work whenever LessEq resolves everything --
+    // on a loaded pool that speculation costs real throughput, while the
+    // pool's other runnable work (sibling models, per-signal CSC) keeps
+    // the workers busy without it (docs/PARALLELISM.md, "scaling study").
+    (void)ex;
     NormalcyPass less, greater;
     bool use_greater = false;
-    if (!ex.parallel()) {
-        less = run_normalcy_pass(CodeRelation::LessEq, opts, outputs);
-        if (!less.all_resolved) {
-            greater = run_normalcy_pass(CodeRelation::GreaterEq, opts, outputs);
-            use_greater = true;
-        }
-    } else {
-        // Both orientations on fresh state, concurrently.  If the LessEq
-        // pass already falsifies every flag, the GreaterEq pass is
-        // redundant: cancel it and ignore whatever it produced (the merge
-        // below would discard it anyway), matching the serial skip.
-        sched::CancellationSource cancel_greater;
-        SearchOptions gopts = opts;
-        gopts.cancel = sched::CancellationToken::combine(
-            opts.cancel, cancel_greater.token());
-        std::vector<std::function<void()>> passes;
-        passes.emplace_back([&] {
-            less = run_normalcy_pass(CodeRelation::LessEq, opts, outputs);
-            if (less.all_resolved) cancel_greater.cancel();
-        });
-        passes.emplace_back([&] {
-            greater = run_normalcy_pass(CodeRelation::GreaterEq, gopts, outputs);
-        });
-        sched::parallel_invoke(ex, std::move(passes));
-        use_greater = !less.all_resolved;
+    less = run_normalcy_pass(CodeRelation::LessEq, opts, outputs);
+    if (!less.all_resolved) {
+        greater = run_normalcy_pass(CodeRelation::GreaterEq, opts, outputs);
+        use_greater = true;
     }
 
     // Merge in orientation order, LessEq first: a flag falsified by the

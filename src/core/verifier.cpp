@@ -81,16 +81,23 @@ void run_checks(VerificationReport& report, const VerifyOptions& opts,
     report.initial_code = artifacts.consistency().initial_code;
 
     UnfoldingChecker checker(report.artifacts);
-    // The three coding phases are independent reads of the same prefix and
-    // coding problem; each phase writes a disjoint report field, so they
-    // can run concurrently.  The serial executor (jobs == 1) calls them in
-    // order through the identical decomposition -- results are the same at
-    // any jobs value (docs/PARALLELISM.md).
+    // Phase plan: the parallel decomposition must not *create* work the
+    // serial order avoids (docs/PARALLELISM.md, "scaling study").  USC and
+    // CSC form one ordered chain -- an exhaustive USC pass records the
+    // usc_holds certificate that lets CSC answer without searching, and
+    // running them concurrently would forfeit it and pay the full
+    // per-signal CSC fan-out on every conflict-free model (the 8x corpus
+    // inversion fixed in the scaling study).  Normalcy is an independent
+    // chain (LessEq pass, then GreaterEq only for unresolved flags).  The
+    // two chains run concurrently; within the CSC link the per-signal
+    // fan-out still spreads over the pool.  The serial executor runs the
+    // identical chains in order -- results are the same at any jobs value.
     report.jobs = ex.jobs();
     std::vector<std::function<void()>> phases;
-    phases.emplace_back([&] { report.usc = checker.check_usc(opts.search); });
-    phases.emplace_back(
-        [&] { report.csc = checker.check_csc(opts.search, ex); });
+    phases.emplace_back([&] {
+        report.usc = checker.check_usc(opts.search);
+        report.csc = checker.check_csc(opts.search, ex);
+    });
     if (opts.check_normalcy) {
         report.normalcy_checked = true;
         phases.emplace_back(

@@ -19,9 +19,22 @@
 namespace stgcc::obs {
 
 namespace detail {
-/// Number of per-thread shards a Counter spreads its writes over.
-inline constexpr unsigned kCounterShards = 16;
-/// Stable per-thread shard slot (dense thread enumeration mod kCounterShards).
+/// Shard-array capacity of a Counter (compile-time storage bound).  The
+/// *effective* shard count is dynamic: it starts at the hardware
+/// concurrency and is raised to the worker count whenever a
+/// sched::WorkStealingPool is constructed (`raise_counter_shards`), so the
+/// writer spread matches the actual thread population instead of a
+/// hardcoded guess -- a 4-worker pool gets 5 shards, not 16, and a
+/// 32-worker pool no longer folds two workers onto every slot.
+inline constexpr unsigned kMaxCounterShards = 32;
+/// Effective shard count in [1, kMaxCounterShards].
+[[nodiscard]] unsigned counter_shards() noexcept;
+/// Raise the effective shard count to `n` (clamped to capacity; never
+/// shrinks -- threads keep the slot they first claimed, and `value()`
+/// always sums the full capacity, so raising is write-path-only).
+void raise_counter_shards(unsigned n) noexcept;
+/// Stable per-thread shard slot (dense thread enumeration mod the
+/// effective shard count at first use).
 [[nodiscard]] unsigned counter_shard() noexcept;
 }  // namespace detail
 
@@ -50,8 +63,14 @@ private:
     struct alignas(64) Shard {
         std::atomic<std::uint64_t> v{0};
     };
-    Shard shards_[detail::kCounterShards];
+    // No false sharing by construction: each shard owns a full cache line,
+    // so adjacent array entries can never share one.
+    static_assert(alignof(Shard) == 64, "counter shard must be line-aligned");
+    static_assert(sizeof(Shard) == 64, "counter shard must fill its line");
+    Shard shards_[detail::kMaxCounterShards];
 };
+static_assert(sizeof(Counter) == 64 * detail::kMaxCounterShards,
+              "shard array must be exactly one cache line per shard");
 
 /// Last-write-wins instantaneous value, plus a running-maximum helper.
 class Gauge {

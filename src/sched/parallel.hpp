@@ -17,6 +17,8 @@
 // this is the determinism argument, spelled out in docs/PARALLELISM.md.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <exception>
 #include <functional>
@@ -102,24 +104,54 @@ std::optional<FirstHit<R>> find_first(
         return std::nullopt;
     }
 
+    // Indices are dispensed in ascending order from a shared counter by a
+    // bounded set of loop tasks (one per executing thread, pool workers
+    // plus the helping caller) instead of queueing one task per index.
+    // Per-index tasks submitted from a worker would drain LIFO -- highest
+    // index first, the exact reverse of the serial early-stop order -- so
+    // a low-index hit would be reached only after every higher index had
+    // already burned a full search.  Ascending dispensing makes the
+    // parallel path probe the same frontier as the serial loop, so the
+    // work it performs stays within (completed prefix below the winner) +
+    // (one in-flight probe per thread), schedule-independent in verdict
+    // and near-serial in total work.
     std::vector<CancellationSource> sources(n);
     std::vector<std::optional<R>> results(n);
+    std::vector<std::exception_ptr> errors(n);
     std::mutex mu;
     std::size_t best = n;
-    parallel_for(ex, n, [&](std::size_t i) {
-        {
-            std::lock_guard<std::mutex> lock(mu);
-            if (i > best) return;  // already beaten by a lower index
-        }
-        auto r = fn(i, sources[i].token());
-        if (!r) return;
-        std::lock_guard<std::mutex> lock(mu);
-        results[i] = std::move(r);
-        if (i < best) {
-            best = i;
-            for (std::size_t j = i + 1; j < n; ++j) sources[j].cancel();
-        }
-    });
+    std::atomic<std::size_t> next{0};
+    const std::size_t lanes =
+        std::min<std::size_t>(n, static_cast<std::size_t>(ex.jobs()) + 1);
+    TaskGroup group(ex.pool());
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+        group.run([&] {
+            for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                 i < n; i = next.fetch_add(1, std::memory_order_relaxed)) {
+                {
+                    std::lock_guard<std::mutex> lock(mu);
+                    if (i > best) continue;  // beaten by a lower index
+                }
+                std::optional<R> r;
+                try {
+                    r = fn(i, sources[i].token());
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                    continue;
+                }
+                if (!r) continue;
+                std::lock_guard<std::mutex> lock(mu);
+                results[i] = std::move(r);
+                if (i < best) {
+                    best = i;
+                    for (std::size_t j = i + 1; j < n; ++j) sources[j].cancel();
+                }
+            }
+        });
+    }
+    group.wait();
+    for (auto& e : errors)
+        if (e) std::rethrow_exception(e);
     if (best == n) return std::nullopt;
     return FirstHit<R>{best, std::move(*results[best])};
 }

@@ -105,6 +105,9 @@ std::uint64_t current_task_queue_delay_ns() noexcept {
 
 WorkStealingPool::WorkStealingPool(unsigned workers) {
     if (workers == 0) workers = 1;
+    // Size the metric shards to the actual writer population: the workers
+    // plus the external caller that helps through TaskGroup::wait.
+    obs::detail::raise_counter_shards(workers + 1);
     workers_.reserve(workers);
     for (unsigned i = 0; i < workers; ++i)
         workers_.push_back(std::make_unique<Worker>());

@@ -129,7 +129,11 @@ public:
     [[nodiscard]] GroupStats group_stats(std::size_t group) const;
 
 private:
-    struct Worker {
+    // Line-aligned so two workers' hot tallies never share a cache line
+    // (each Worker is heap-allocated, but without the alignas the
+    // allocator may pack one worker's tail atomics against the next
+    // worker's deque mutex).
+    struct alignas(64) Worker {
         WorkDequeT<PoolTask> deque;
         std::thread thread;
         std::atomic<std::uint64_t> executed{0};

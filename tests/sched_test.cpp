@@ -348,6 +348,91 @@ TEST(SchedCancellation, EarliestOfMultipleDeadlinesWins) {
     EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::hours(1));
 }
 
+TEST(SchedCancellation, DeadlineUnderSaturationCancelsRunningAndQueuedProbes) {
+    // A deadline firing while every lane of a find_first is mid-probe and
+    // more indices are queued behind the dispenser: the running probes
+    // must observe cancellation through their combined token, the queued
+    // indices must see it at entry (no full search burned post-deadline),
+    // and the call must return promptly with a miss -- no deadlock, no
+    // stragglers.  This is the stgd per-request deadline shape (server
+    // combines the request deadline with each solve's own token).
+    constexpr std::size_t kN = 32;
+    Executor ex(2);  // 2 workers + helping caller = 3 lanes
+    CancellationSource deadline;
+    deadline.cancel_after(std::chrono::milliseconds(60));
+    const CancellationToken deadline_token = deadline.token();
+
+    std::atomic<int> cancelled_at_entry{0};
+    std::atomic<int> cancelled_mid_probe{0};
+    const auto begin = std::chrono::steady_clock::now();
+    const auto result = find_first<int>(
+        ex, kN,
+        [&](std::size_t, const CancellationToken& token) -> std::optional<int> {
+            const CancellationToken combined =
+                CancellationToken::combine(token, deadline_token);
+            if (combined.cancelled()) {
+                cancelled_at_entry.fetch_add(1, std::memory_order_relaxed);
+                return std::nullopt;  // queued behind the deadline
+            }
+            // Emulate an exhaustive search that only ends when cancelled
+            // (bounded so a missed cancel fails instead of hanging).
+            const auto give_up =
+                std::chrono::steady_clock::now() + std::chrono::seconds(10);
+            while (!combined.cancelled() &&
+                   std::chrono::steady_clock::now() < give_up)
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            EXPECT_TRUE(combined.cancelled());
+            cancelled_mid_probe.fetch_add(1, std::memory_order_relaxed);
+            return std::nullopt;
+        });
+    const auto elapsed = std::chrono::steady_clock::now() - begin;
+
+    EXPECT_FALSE(result.has_value());
+    // Every index ran exactly once, split between the two cancel paths:
+    // the saturated lanes were cut mid-probe, the queue drained at entry.
+    EXPECT_EQ(cancelled_at_entry.load() + cancelled_mid_probe.load(),
+              static_cast<int>(kN));
+    EXPECT_GE(cancelled_mid_probe.load(), 1);
+    EXPECT_GE(cancelled_at_entry.load(), static_cast<int>(kN) - 8);
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+              5);
+}
+
+TEST(SchedCancellation, DeadlineUnderSaturationDrainsParallelForQueue) {
+    // Same shape for the all-indices primitive: parallel_for must still
+    // run every index (its contract), but once the shared deadline fires
+    // the queued tail observes it at entry, so the loop drains in
+    // milliseconds instead of serializing 64 full probes.
+    constexpr std::size_t kN = 64;
+    Executor ex(2);
+    CancellationSource deadline;
+    deadline.cancel_after(std::chrono::milliseconds(50));
+    const CancellationToken token = deadline.token();
+
+    std::vector<std::atomic<int>> ran(kN);
+    std::atomic<int> saw_deadline_at_entry{0};
+    const auto begin = std::chrono::steady_clock::now();
+    parallel_for(ex, kN, [&](std::size_t i) {
+        ran[i].fetch_add(1, std::memory_order_relaxed);
+        if (token.cancelled()) {
+            saw_deadline_at_entry.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        const auto give_up =
+            std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        while (!token.cancelled() && std::chrono::steady_clock::now() < give_up)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        EXPECT_TRUE(token.cancelled());
+    });
+    const auto elapsed = std::chrono::steady_clock::now() - begin;
+
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(ran[i].load(), 1) << "index " << i;
+    EXPECT_GE(saw_deadline_at_entry.load(), static_cast<int>(kN) / 2);
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+              5);
+}
+
 TEST(SchedExecutor, ConcurrentExternalWaitersShareOnePool) {
     // The service layer runs several verification requests on one shared
     // Executor from distinct connection threads; each external thread

@@ -422,6 +422,74 @@ TEST_F(SvcServerTest, DeadlineCancelsALongVerification) {
               30);
 }
 
+TEST_F(SvcServerTest, DeadlineUnderLoadCancelsAllRequestsAndCachesNoPartial) {
+    // Saturate a deliberately narrow server (2 workers, inflight gate at
+    // 2) with more deadline-carrying long verifications than it can admit:
+    // the admitted requests must be cancelled mid-solve, the queued ones
+    // at or before their start, all within the deadline's order of
+    // magnitude -- and none of the cut-short runs may leave a partial
+    // result in any cache tier.  Caching stays ON for this test: a cached
+    // partial would answer the retry instantly with ok, which is exactly
+    // the regression this pins down.
+    svc::ServerConfig cfg;
+    cfg.jobs = 2;
+    cfg.max_inflight = 2;
+    cfg.cache_dir = (work_ / "cache").string();
+    start(std::move(cfg));
+    const std::string model_text =
+        stg::write_astg_string(stg::bench::parallel_handshakes(12));
+
+    constexpr int kClients = 5;
+    std::vector<std::string> codes(kClients);
+    std::vector<std::thread> threads;
+    const auto begin = std::chrono::steady_clock::now();
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            svc::Client client = connect(server_->bound()[c % 2]);
+            std::string error;
+            obs::Json request = check_request(100 + c, model_text);
+            request.set("deadline_ms", 150);
+            auto resp = client.call(request, error);
+            if (!resp.has_value()) {
+                codes[c] = "transport:" + error;
+                return;
+            }
+            codes[c] = svc::response_ok(*resp) ? "ok"
+                                               : svc::response_error_code(*resp);
+        });
+    }
+    for (auto& t : threads) t.join();
+    const auto elapsed = std::chrono::steady_clock::now() - begin;
+    for (int c = 0; c < kClients; ++c)
+        EXPECT_EQ(codes[c], "deadline_exceeded") << "client " << c;
+    // Queued requests must not serialize into kClients full deadlines'
+    // worth of work each; the whole burst resolves in cooperative-cancel
+    // time, far under the minutes an uncancelled solve takes.
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+              30);
+
+    // Retry the same model/options with a deadline: a (buggy) cached
+    // partial would now hit in a cache tier and return ok instantly; the
+    // correct server re-runs the solve and times out again.
+    svc::Client retry = connect(server_->bound()[0]);
+    std::string error;
+    obs::Json request = check_request(200, model_text);
+    request.set("deadline_ms", 150);
+    auto resp = retry.call(request, error);
+    ASSERT_TRUE(resp.has_value()) << error;
+    EXPECT_FALSE(svc::response_ok(*resp));
+    EXPECT_EQ(svc::response_error_code(*resp), "deadline_exceeded");
+
+    // The server stays fully usable: an untimed request for a model that
+    // verifies in milliseconds succeeds.
+    auto quick = retry.call(
+        check_request(
+            201, read_model_file(std::string(STGCC_MODELS_DIR) + "/seq4.g")),
+        error);
+    ASSERT_TRUE(quick.has_value()) << error;
+    EXPECT_TRUE(svc::response_ok(*quick)) << svc::response_error(*quick);
+}
+
 TEST_F(SvcServerTest, ShutdownOpDrainsAndRunReturnsZero) {
     start();
     svc::Client client = connect(server_->bound()[0]);
