@@ -30,6 +30,8 @@
 #include "obs/report.hpp"
 #include "svc/client.hpp"
 #include "svc/protocol.hpp"
+#include "obs/build_info.hpp"
+#include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -112,9 +114,14 @@ int run_connected(const char* connect, const char* path, const char* json_path,
     copts.deadlock = deadlock;
     copts.persistency = persistency;
     copts.use_cache = use_cache;
+    // Client-minted trace id: the server stamps it into its spans, event
+    // log and the response envelope, so one id correlates this invocation
+    // with the server-side work (docs/OBSERVABILITY.md).
+    const std::string trace = obs::generate_trace_id();
     obs::Json request = obs::Json::object()
                             .set("op", "check")
                             .set("id", 1)
+                            .set("trace", trace)
                             .set("model", *bytes)
                             .set("file", path)
                             .set("options", copts.to_json());
@@ -146,6 +153,7 @@ int run_connected(const char* connect, const char* path, const char* json_path,
             return 2;
         }
         obs::Json out = *body;
+        out.set("build", obs::build_info());
         out.set("metrics", obs::Registry::instance().to_json());
         if (!obs::save_json(json_path,
                             obs::make_report("stgcheck", std::move(out)))) {
@@ -378,6 +386,7 @@ int main(int argc, char** argv) {
         if (json_path) {
             obs::Json body = core::report_json(model, report);
             body.set("jobs", report.jobs);
+            body.set("build", obs::build_info());
             body.set("metrics", obs::Registry::instance().to_json());
             if (!obs::save_json(json_path,
                                 obs::make_report("stgcheck", std::move(body)))) {

@@ -1,0 +1,35 @@
+// stgcc -- build provenance, embedded at configure time (src/CMakeLists.txt
+// configures build_info.cpp.in).
+//
+// Every surface that emits a verification verdict or serves telemetry also
+// identifies the binary that produced it: `stgcheck --json` carries a
+// "build" object, the stgd `stats` op reports `server.build`, and the
+// metrics listener serves it at `/buildinfo`.  Without this, a regression
+// report from a contest run or a scraped dashboard cannot be tied back to
+// a commit and toolchain.
+#pragma once
+
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace stgcc::obs {
+
+/// `git describe --always --dirty` at configure time ("unknown" outside a
+/// git checkout).
+[[nodiscard]] std::string_view build_git_describe() noexcept;
+
+/// Compiler id and version, e.g. "GNU 13.2.0".
+[[nodiscard]] std::string_view build_compiler() noexcept;
+
+/// CMake build type, e.g. "RelWithDebInfo".
+[[nodiscard]] std::string_view build_type() noexcept;
+
+/// STGCC_SANITIZE value, e.g. "OFF", "address" or "tsan".
+[[nodiscard]] std::string_view build_sanitize() noexcept;
+
+/// {"git":..,"compiler":..,"build_type":..,"sanitize":..,
+///  "cache_version":..,"report_schema":..} -- byte-stable per binary.
+[[nodiscard]] Json build_info();
+
+}  // namespace stgcc::obs

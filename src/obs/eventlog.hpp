@@ -1,0 +1,108 @@
+// stgcc -- structured JSONL event log for the resident service
+// (docs/OBSERVABILITY.md, docs/SERVICE.md).
+//
+// One line per event, each a self-contained JSON object:
+//
+//   {"ts_ms":1754650000123,"level":"info","event":"check.completed",
+//    "trace":"9f2ab51c06d7e834","model_hash":"157ad...","cached":"memory",
+//    "queue_delay_ms":0.2,"seconds":0.004,"exit":1}
+//
+// Design points:
+//   * JSONL because the consumers are grep, jq and CI assertions -- not a
+//     log database.  Every record carries a wall-clock `ts_ms`, a `level`
+//     and an `event` name; everything else is caller fields.
+//   * Level filtering happens before the record is rendered: a filtered
+//     write costs one enum compare.
+//   * Size-based rotation: when the live file would exceed `max_bytes`
+//     after a write, it is renamed to `<path>.1` (replacing any previous
+//     rotation) and a fresh file is started -- bounded disk, last ~2x
+//     max_bytes of history retained.
+//   * Thread-safe; a default-constructed (pathless) log drops everything
+//     and `enabled()` is false, so call sites need no guards beyond the
+//     level check they get for free.
+//
+// Trace ids: `generate_trace_id()` mints the 16-hex-digit ids that
+// correlate a client invocation with its server-side records.  Clients
+// mint one per request (stgcheck/stgbatch --connect), the wire protocol
+// carries it, and stgd stamps it into spans, event-log records and
+// response envelopes (docs/SERVICE.md).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace stgcc::obs {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+/// "debug" / "info" / "warn" / "error".
+[[nodiscard]] const char* log_level_name(LogLevel level) noexcept;
+
+/// Parse a level name (case-sensitive, the four names above); false on
+/// anything else.
+[[nodiscard]] bool parse_log_level(std::string_view text, LogLevel& out);
+
+class EventLog {
+public:
+    /// A disabled log: every write is dropped.
+    EventLog() = default;
+
+    /// Log to `path`, dropping records below `min_level`, rotating to
+    /// `<path>.1` when the file exceeds `max_bytes`.  An empty path
+    /// disables the log.
+    explicit EventLog(std::string path, LogLevel min_level = LogLevel::Info,
+                      std::uint64_t max_bytes = 64u << 20);
+
+    EventLog(const EventLog&) = delete;
+    EventLog& operator=(const EventLog&) = delete;
+
+    [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+    [[nodiscard]] LogLevel min_level() const noexcept { return min_level_; }
+
+    /// Would a record at `level` be written?  (The write methods check
+    /// this themselves; call sites only need it to skip expensive field
+    /// construction.)
+    [[nodiscard]] bool should_log(LogLevel level) const noexcept {
+        return enabled() && static_cast<int>(level) >= static_cast<int>(min_level_);
+    }
+
+    /// Append one record: `fields` (an object; other kinds are replaced
+    /// by an empty object) prefixed with ts_ms, level and event.  Returns
+    /// false when filtered or on IO failure -- the caller's verification
+    /// work must never depend on the log.
+    bool write(LogLevel level, std::string_view event, Json fields);
+
+    /// write(Info, ...) convenience.
+    bool info(std::string_view event, Json fields) {
+        return write(LogLevel::Info, event, std::move(fields));
+    }
+
+    /// Records written (post-filtering) since construction.
+    [[nodiscard]] std::uint64_t records_written() const noexcept;
+
+private:
+    std::string path_;
+    LogLevel min_level_ = LogLevel::Info;
+    std::uint64_t max_bytes_ = 64u << 20;
+
+    mutable std::mutex mu_;
+    std::uint64_t bytes_ = 0;    ///< size of the live file
+    std::uint64_t records_ = 0;
+};
+
+/// Mint a 16-hex-digit trace id (64 random bits; thread-local generator
+/// seeded from std::random_device, the pid and the clock, so concurrent
+/// clients do not collide).
+[[nodiscard]] std::string generate_trace_id();
+
+/// True iff `id` looks like a minted trace id (1..64 chars of
+/// [a-zA-Z0-9_.-]) -- the server accepts client ids but refuses to stamp
+/// unbounded or unprintable junk into its logs.
+[[nodiscard]] bool plausible_trace_id(std::string_view id) noexcept;
+
+}  // namespace stgcc::obs

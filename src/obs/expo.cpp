@@ -1,0 +1,251 @@
+#include "obs/expo.hpp"
+
+#include <cstdio>
+
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace stgcc::obs {
+
+// ---------------------------------------------------------- RollingWindow
+
+void RollingWindow::record(std::uint64_t value, std::uint64_t now_ns) {
+    const std::uint64_t sec = now_ns / 1'000'000'000u;
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& s = slots_[sec % kSlots];
+    if (s.sec != sec) {
+        // Lazy reclamation: the slot last held a second >= kSlots ago (or
+        // nothing); it leaves every window before it can be reused.
+        s = Slot{};
+        s.sec = sec;
+    }
+    ++s.count;
+    s.sum += value;
+    ++s.buckets[Histogram::bucket_of(value)];
+}
+
+std::uint64_t RollingWindow::count(std::uint64_t window_s,
+                                   std::uint64_t now_ns) const {
+    std::uint64_t total = 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    for_window(window_s, now_ns, [&](const Slot& s) { total += s.count; });
+    return total;
+}
+
+std::uint64_t RollingWindow::sum(std::uint64_t window_s,
+                                 std::uint64_t now_ns) const {
+    std::uint64_t total = 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    for_window(window_s, now_ns, [&](const Slot& s) { total += s.sum; });
+    return total;
+}
+
+double RollingWindow::rate(std::uint64_t window_s,
+                           std::uint64_t now_ns) const {
+    if (window_s == 0) return 0.0;
+    return static_cast<double>(count(window_s, now_ns)) /
+           static_cast<double>(window_s);
+}
+
+double RollingWindow::quantile(std::uint64_t window_s, double q,
+                               std::uint64_t now_ns) const {
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    std::uint64_t merged[Histogram::kBuckets] = {};
+    std::uint64_t total = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for_window(window_s, now_ns, [&](const Slot& s) {
+            for (int i = 0; i < Histogram::kBuckets; ++i) merged[i] += s.buckets[i];
+            total += s.count;
+        });
+    }
+    if (total == 0) return 0.0;
+    const double target = q * static_cast<double>(total);
+    double seen = 0.0;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+        const auto in_bucket = static_cast<double>(merged[i]);
+        if (in_bucket == 0.0) continue;
+        if (seen + in_bucket >= target) {
+            if (i == 0) return 0.0;  // bucket 0 holds exactly {0}
+            const double lo = static_cast<double>(std::uint64_t{1} << (i - 1));
+            const double hi = lo * 2.0 - 1.0;
+            const double frac = (target - seen) / in_bucket;
+            return lo + frac * (hi - lo);
+        }
+        seen += in_bucket;
+    }
+    return static_cast<double>(~std::uint64_t{0});
+}
+
+Json RollingWindow::to_json(std::uint64_t now_ns) const {
+    Json out = Json::object();
+    char key[32];
+    for (const std::uint64_t w : kWindows) {
+        std::snprintf(key, sizeof key, "rate_%llus",
+                      static_cast<unsigned long long>(w));
+        out.set(key, rate(w, now_ns));
+    }
+    const std::uint64_t longest = kWindows[2];
+    out.set("p50", quantile(longest, 0.50, now_ns));
+    out.set("p90", quantile(longest, 0.90, now_ns));
+    out.set("p99", quantile(longest, 0.99, now_ns));
+    return out;
+}
+
+// ------------------------------------------------------- Prometheus text
+
+std::string prometheus_name(std::string_view prefix, std::string_view name) {
+    std::string out;
+    out.reserve(prefix.size() + 1 + name.size());
+    const auto legal = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+               (c >= '0' && c <= '9') || c == '_';
+    };
+    for (const char c : prefix) out += legal(c) ? c : '_';
+    if (!out.empty()) out += '_';
+    for (const char c : name) out += legal(c) ? c : '_';
+    return out;
+}
+
+namespace {
+
+void append_number(std::string& out, const Json& v) {
+    // Counters and gauges are integers in the snapshot; quantiles are
+    // doubles.  %g keeps doubles compact and byte-stable for a value.
+    if (v.kind() == Json::Kind::Double) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%g", v.as_double());
+        out += buf;
+    } else if (v.kind() == Json::Kind::Int) {
+        out += std::to_string(v.as_int());
+    } else {
+        out += std::to_string(v.as_uint());
+    }
+}
+
+void type_line(std::string& out, const std::string& name, const char* type) {
+    out += "# TYPE ";
+    out += name;
+    out += ' ';
+    out += type;
+    out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_text(const Json& snapshot, std::string_view prefix) {
+    std::string out;
+    if (const Json* counters = snapshot.find("counters")) {
+        for (std::size_t i = 0; i < counters->size(); ++i) {
+            const auto& [name, value] = counters->member(i);
+            const std::string p = prometheus_name(prefix, name) + "_total";
+            type_line(out, p, "counter");
+            out += p;
+            out += ' ';
+            append_number(out, value);
+            out += '\n';
+        }
+    }
+    if (const Json* gauges = snapshot.find("gauges")) {
+        for (std::size_t i = 0; i < gauges->size(); ++i) {
+            const auto& [name, value] = gauges->member(i);
+            const std::string p = prometheus_name(prefix, name);
+            type_line(out, p, "gauge");
+            out += p;
+            out += ' ';
+            append_number(out, value);
+            out += '\n';
+        }
+    }
+    if (const Json* histograms = snapshot.find("histograms")) {
+        for (std::size_t i = 0; i < histograms->size(); ++i) {
+            const auto& [name, h] = histograms->member(i);
+            const std::string p = prometheus_name(prefix, name);
+            type_line(out, p, "histogram");
+            // The snapshot lists only non-empty buckets with their
+            // inclusive upper limits; cumulate them in order and close
+            // with the mandatory +Inf bucket.
+            std::uint64_t cumulative = 0;
+            if (const Json* buckets = h.find("buckets")) {
+                for (std::size_t b = 0; b < buckets->size(); ++b) {
+                    const Json& entry = buckets->at(b);
+                    const Json* le = entry.find("le");
+                    const Json* count = entry.find("count");
+                    if (!le || !count) continue;
+                    cumulative += count->as_uint();
+                    out += p;
+                    out += "_bucket{le=\"";
+                    out += std::to_string(le->as_uint());
+                    out += "\"} ";
+                    out += std::to_string(cumulative);
+                    out += '\n';
+                }
+            }
+            const Json* count = h.find("count");
+            const Json* sum = h.find("sum");
+            out += p;
+            out += "_bucket{le=\"+Inf\"} ";
+            out += std::to_string(count ? count->as_uint() : cumulative);
+            out += '\n';
+            out += p;
+            out += "_sum ";
+            out += std::to_string(sum ? sum->as_uint() : 0);
+            out += '\n';
+            out += p;
+            out += "_count ";
+            out += std::to_string(count ? count->as_uint() : cumulative);
+            out += '\n';
+            // The registry's interpolated quantile estimates as a
+            // companion summary family (a family cannot be both histogram
+            // and summary, hence the suffix).
+            const std::string ps = p + "_summary";
+            type_line(out, ps, "summary");
+            constexpr const char* kQ[3] = {"0.5", "0.9", "0.99"};
+            constexpr const char* kKey[3] = {"p50", "p90", "p99"};
+            for (int q = 0; q < 3; ++q) {
+                const Json* v = h.find(kKey[q]);
+                out += ps;
+                out += "{quantile=\"";
+                out += kQ[q];
+                out += "\"} ";
+                if (v)
+                    append_number(out, *v);
+                else
+                    out += '0';
+                out += '\n';
+            }
+            out += ps;
+            out += "_sum ";
+            out += std::to_string(sum ? sum->as_uint() : 0);
+            out += '\n';
+            out += ps;
+            out += "_count ";
+            out += std::to_string(count ? count->as_uint() : 0);
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+std::string prometheus_text() {
+    return prometheus_text(Registry::instance().to_json());
+}
+
+std::uint64_t process_rss_bytes() {
+#if defined(__linux__)
+    // /proc/self/statm: size resident shared text lib data dt (pages).
+    std::ifstream in("/proc/self/statm");
+    std::uint64_t size_pages = 0, resident_pages = 0;
+    if (!(in >> size_pages >> resident_pages)) return 0;
+    const long page = ::sysconf(_SC_PAGESIZE);
+    return resident_pages * static_cast<std::uint64_t>(page > 0 ? page : 4096);
+#else
+    return 0;
+#endif
+}
+
+}  // namespace stgcc::obs

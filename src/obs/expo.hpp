@@ -1,0 +1,127 @@
+// stgcc -- live-telemetry exposition: Prometheus text rendering of the
+// metrics registry and a sliding-window aggregator for rates and latency
+// quantiles (docs/OBSERVABILITY.md).
+//
+// The registry's counters, gauges and histograms are process-lifetime
+// totals: perfect for a final report, useless for "is the daemon melting
+// *right now*".  This header adds the two missing pieces:
+//
+//   * `prometheus_text()` renders a `Registry::to_json()` snapshot in the
+//     Prometheus text exposition format (version 0.0.4) -- counters with a
+//     `_total` suffix, gauges verbatim, histograms as cumulative
+//     `_bucket{le=...}` series plus `_sum`/`_count` and a companion
+//     `<name>_summary{quantile=...}` family carrying the registry's
+//     p50/p90/p99 estimates.  Rendering from the JSON snapshot (names
+//     sorted, zero metrics included) makes the output byte-stable for a
+//     given set of values -- golden-tested, CI-scraped.
+//
+//   * `RollingWindow` buckets samples into one-second slots of a fixed
+//     ring, so a reader can ask for the event *rate* and the latency
+//     *quantiles* over the last 1/10/60 seconds instead of since process
+//     start.  Time is an explicit nanosecond argument on every call: the
+//     server feeds its uptime clock, the tests feed a synthetic one, and
+//     the class itself never reads a clock (deterministic by construction).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace stgcc::obs {
+
+/// Sliding-window aggregator: per-second slots in a fixed ring, each slot
+/// holding a sample count, sum and log2-bucket histogram (same bucket
+/// geometry as obs::Histogram).  All methods are thread-safe (one mutex;
+/// this is request-rate bookkeeping, not a solver hot path).  Slots older
+/// than the ring capacity are reclaimed lazily, so a window query never
+/// sees stale seconds.
+class RollingWindow {
+public:
+    /// Ring capacity in seconds; the longest supported window.
+    static constexpr std::uint64_t kSlots = 64;
+    /// The standard window set exposed by stgd and stgtop.
+    static constexpr std::uint64_t kWindows[3] = {1, 10, 60};
+
+    /// Record one sample (e.g. a request latency in nanoseconds) at
+    /// absolute time `now_ns` (any monotonic origin; mixing origins is the
+    /// caller's bug).
+    void record(std::uint64_t value, std::uint64_t now_ns);
+
+    /// Samples recorded in the last `window_s` seconds as of `now_ns`.
+    [[nodiscard]] std::uint64_t count(std::uint64_t window_s,
+                                      std::uint64_t now_ns) const;
+
+    /// Sum of samples in the window.
+    [[nodiscard]] std::uint64_t sum(std::uint64_t window_s,
+                                    std::uint64_t now_ns) const;
+
+    /// Events per second over the window (count / window_s).
+    [[nodiscard]] double rate(std::uint64_t window_s,
+                              std::uint64_t now_ns) const;
+
+    /// Quantile estimate over the window's merged log2 buckets (same
+    /// interpolation and 2x relative error bound as Histogram::quantile).
+    /// Returns 0 for an empty window.
+    [[nodiscard]] double quantile(std::uint64_t window_s, double q,
+                                  std::uint64_t now_ns) const;
+
+    /// {"rate_1s":..,"rate_10s":..,"rate_60s":..,"p50":..,"p90":..,
+    ///  "p99":..} -- the rates over the standard windows plus quantiles
+    /// over the longest one; the shape stgd's stats op and stgtop share.
+    [[nodiscard]] Json to_json(std::uint64_t now_ns) const;
+
+private:
+    struct Slot {
+        std::uint64_t sec = kNoSec;
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint32_t buckets[Histogram::kBuckets] = {};
+    };
+    static constexpr std::uint64_t kNoSec = ~std::uint64_t{0};
+
+    /// Visit every live slot inside the window (caller holds mu_).
+    template <class Fn>
+    void for_window(std::uint64_t window_s, std::uint64_t now_ns,
+                    Fn&& fn) const {
+        if (window_s == 0) return;
+        if (window_s > kSlots) window_s = kSlots;
+        const std::uint64_t now_s = now_ns / 1'000'000'000u;
+        for (const Slot& s : slots_) {
+            if (s.sec == kNoSec || s.sec > now_s) continue;
+            if (now_s - s.sec < window_s) fn(s);
+        }
+    }
+
+    mutable std::mutex mu_;
+    Slot slots_[kSlots];
+};
+
+/// Render a `Registry::to_json()` snapshot as Prometheus text exposition
+/// (format 0.0.4).  Metric names are prefixed with `<prefix>_` and
+/// sanitised (dots and other non-[a-zA-Z0-9_] become '_'); counters gain
+/// the conventional `_total` suffix.  Histograms render their cumulative
+/// buckets (upper bounds are the registry's inclusive log2 limits) ending
+/// with `le="+Inf"`, then `_sum` and `_count`, then a `<name>_summary`
+/// family with the snapshot's p50/p90/p99.  Output is byte-stable for a
+/// given snapshot: names arrive sorted from the registry and doubles are
+/// formatted with "%g".
+[[nodiscard]] std::string prometheus_text(const Json& snapshot,
+                                          std::string_view prefix = "stgcc");
+
+/// Snapshot the process-global registry and render it.
+[[nodiscard]] std::string prometheus_text();
+
+/// Prometheus-legal metric name: `<prefix>_<name>` with every character
+/// outside [a-zA-Z0-9_] replaced by '_'.
+[[nodiscard]] std::string prometheus_name(std::string_view prefix,
+                                          std::string_view name);
+
+/// Resident-set size of the calling process in bytes (0 where /proc is
+/// unavailable).  Feeds the `mem.rss_bytes` gauge before a scrape.
+[[nodiscard]] std::uint64_t process_rss_bytes();
+
+}  // namespace stgcc::obs

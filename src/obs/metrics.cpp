@@ -121,7 +121,10 @@ constexpr const char* kBuiltinCounters[] = {
 constexpr const char* kBuiltinGauges[] = {
     "unfold.pe_queue_peak", "unfold.co_pairs", "sg.hash_load_permille",
     "sched.workers",        "mem.arena_bytes", "mem.arena_peak_bytes",
-    "sched.critical_path_ns"};
+    "sched.critical_path_ns",
+    // Service liveness gauges, refreshed by stgd before every stats
+    // snapshot and /metrics scrape (docs/SERVICE.md).
+    "svc.open_connections", "mem.rss_bytes"};
 constexpr const char* kBuiltinHistograms[] = {
     "unfold.pe_queue_depth", "sched.queue_delay_ns", "sched.task_duration_ns",
     "sched.steal_latency_ns", "compat.depth"};

@@ -1,0 +1,155 @@
+#include "svc/http.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace stgcc::svc {
+
+namespace {
+
+constexpr int kIoTimeoutMs = 2000;       ///< per-connection read/write budget
+constexpr std::size_t kMaxHeader = 8192; ///< request head size bound
+
+const char* reason_phrase(int status) {
+    switch (status) {
+        case 200: return "OK";
+        case 400: return "Bad Request";
+        case 404: return "Not Found";
+        case 405: return "Method Not Allowed";
+        case 503: return "Service Unavailable";
+        default: return "Internal Server Error";
+    }
+}
+
+/// Blocking-with-timeout write of the whole buffer; false on error/timeout.
+bool write_all(int fd, const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+        pollfd p{fd, POLLOUT, 0};
+        const int r = ::poll(&p, 1, kIoTimeoutMs);
+        if (r <= 0) return false;
+        const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+}  // namespace
+
+bool HttpServer::start(const Endpoint& ep, Handler handler,
+                       std::string& error) {
+    if (running()) {
+        error = "http server already started";
+        return false;
+    }
+    if (!handler) {
+        error = "http server requires a handler";
+        return false;
+    }
+    if (::pipe(stop_pipe_) != 0) {
+        error = "cannot create stop pipe";
+        stop_pipe_[0] = stop_pipe_[1] = -1;
+        return false;
+    }
+    listener_ = listen_endpoint(ep, error);
+    if (!listener_.valid()) {
+        ::close(stop_pipe_[0]);
+        ::close(stop_pipe_[1]);
+        stop_pipe_[0] = stop_pipe_[1] = -1;
+        return false;
+    }
+    ep_ = ep;
+    bound_ = local_endpoint(listener_, ep);
+    handler_ = std::move(handler);
+    thread_ = std::thread(&HttpServer::serve, this);
+    return true;
+}
+
+void HttpServer::stop() {
+    if (stop_pipe_[1] >= 0) {
+        const char byte = 'x';
+        [[maybe_unused]] const auto n = ::write(stop_pipe_[1], &byte, 1);
+    }
+    if (thread_.joinable()) thread_.join();
+    listener_.reset();
+    if (ep_.kind == Endpoint::Kind::Unix && !ep_.path.empty()) {
+        ::unlink(ep_.path.c_str());
+        ep_.path.clear();
+    }
+    if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
+    if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
+    stop_pipe_[0] = stop_pipe_[1] = -1;
+}
+
+void HttpServer::serve() {
+    while (true) {
+        pollfd fds[2] = {{listener_.get(), POLLIN, 0},
+                         {stop_pipe_[0], POLLIN, 0}};
+        if (::poll(fds, 2, -1) < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (fds[1].revents & POLLIN) break;
+        if (!(fds[0].revents & POLLIN)) continue;
+        Fd conn = accept_connection(listener_);
+        if (!conn.valid()) continue;
+        serve_one(std::move(conn));
+    }
+}
+
+void HttpServer::serve_one(Fd conn) {
+    // Read until the end of the request head; the body (if any) is ignored
+    // -- every supported method is GET.
+    std::string head;
+    while (head.find("\r\n\r\n") == std::string::npos &&
+           head.find("\n\n") == std::string::npos) {
+        if (head.size() >= kMaxHeader) return;
+        pollfd p{conn.get(), POLLIN, 0};
+        const int r = ::poll(&p, 1, kIoTimeoutMs);
+        if (r <= 0) return;
+        char buf[1024];
+        const ssize_t n = ::read(conn.get(), buf, sizeof buf);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) return;
+        head.append(buf, static_cast<std::size_t>(n));
+    }
+    // Request line: METHOD SP path SP version.
+    const std::size_t line_end = head.find_first_of("\r\n");
+    const std::string line = head.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    HttpResponse resp;
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        resp.status = 400;
+        resp.body = "malformed request line\n";
+    } else if (line.substr(0, sp1) != "GET") {
+        resp.status = 405;
+        resp.body = "only GET is supported\n";
+    } else {
+        std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        const std::size_t query = path.find('?');
+        if (query != std::string::npos) path.resize(query);
+        resp = handler_(path);
+    }
+    std::string out = "HTTP/1.0 ";
+    out += std::to_string(resp.status);
+    out += ' ';
+    out += reason_phrase(resp.status);
+    out += "\r\nContent-Type: ";
+    out += resp.content_type;
+    out += "\r\nContent-Length: ";
+    out += std::to_string(resp.body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += resp.body;
+    write_all(conn.get(), out);
+}
+
+}  // namespace stgcc::svc

@@ -1,0 +1,71 @@
+// stgcc -- minimal HTTP/1.0 responder for the stgd metrics listener
+// (docs/SERVICE.md, docs/OBSERVABILITY.md).
+//
+// Prometheus scrapers, `curl /healthz` probes and the CI service job need
+// plain GET over TCP -- nothing the length-prefixed frame protocol can
+// serve.  This is deliberately the smallest viable server: one accept
+// thread, one request per connection (`Connection: close`), GET only, no
+// keep-alive, no TLS, no chunked bodies.  It reuses svc/socket.hpp for
+// endpoint parsing and listening, so `--metrics-listen` speaks the same
+// endpoint syntax as `--listen`.
+//
+// The handler runs on the accept thread: a scrape is a registry snapshot
+// render (microseconds), and serialising scrapes keeps the surface
+// impossible to use as a request amplifier.  Slow or hung peers are bounded
+// by a poll timeout rather than trusted.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "svc/socket.hpp"
+
+namespace stgcc::svc {
+
+struct HttpResponse {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+class HttpServer {
+public:
+    /// Called with the request path ("/metrics"); returns the response.
+    /// Must be thread-compatible with the owning server (it runs on the
+    /// accept thread for the listener's lifetime).
+    using Handler = std::function<HttpResponse(const std::string& path)>;
+
+    HttpServer() = default;
+    ~HttpServer() { stop(); }
+    HttpServer(const HttpServer&) = delete;
+    HttpServer& operator=(const HttpServer&) = delete;
+
+    /// Bind `ep`, spawn the accept thread.  False + `error` on bind
+    /// failure.  Call at most once.
+    [[nodiscard]] bool start(const Endpoint& ep, Handler handler,
+                             std::string& error);
+
+    /// Resolved listener address (TCP port 0 replaced); valid after
+    /// start().
+    [[nodiscard]] const std::string& bound() const noexcept { return bound_; }
+
+    [[nodiscard]] bool running() const noexcept { return thread_.joinable(); }
+
+    /// Stop accepting, join the accept thread, close the listener.
+    /// Idempotent; also runs from the destructor.
+    void stop();
+
+private:
+    void serve();
+    void serve_one(Fd conn);
+
+    Endpoint ep_;
+    Handler handler_;
+    Fd listener_;
+    std::string bound_;
+    int stop_pipe_[2] = {-1, -1};  ///< [read, write]
+    std::thread thread_;
+};
+
+}  // namespace stgcc::svc

@@ -8,7 +8,10 @@
 #include <chrono>
 #include <csignal>
 
+#include <cstdio>
+
 #include "core/verifier.hpp"
+#include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "stg/astg.hpp"
@@ -56,7 +59,11 @@ constexpr const char* kDeadlineVerify = "deadline expired during verification";
 }  // namespace
 
 Server::Server(ServerConfig cfg)
-    : cfg_(std::move(cfg)), ex_(cfg_.jobs), rcache_(cfg_.cache_dir) {
+    : cfg_(std::move(cfg)),
+      ex_(cfg_.jobs),
+      rcache_(cfg_.cache_dir),
+      event_log_(cfg_.event_log_path, cfg_.event_log_level,
+                 cfg_.event_log_max_bytes) {
     // A peer closing mid-response must surface as a write error, not kill
     // the daemon.
     std::signal(SIGPIPE, SIG_IGN);
@@ -97,6 +104,27 @@ bool Server::start(std::string& error) {
         }
         bound_.push_back(local_endpoint(fd, ep));
         listeners_.push_back(std::move(fd));
+    }
+    if (cfg_.metrics_listen &&
+        !metrics_http_.start(
+            *cfg_.metrics_listen,
+            [this](const std::string& path) { return handle_http(path); },
+            error)) {
+        listeners_.clear();
+        bound_.clear();
+        return false;
+    }
+    if (event_log_.enabled()) {
+        obs::Json listen = obs::Json::array();
+        for (const std::string& b : bound_) listen.push(b);
+        event_log_.info(
+            "server.start",
+            obs::Json::object()
+                .set("pid", static_cast<std::int64_t>(::getpid()))
+                .set("listen", std::move(listen))
+                .set("metrics_listen", metrics_http_.bound())
+                .set("git", std::string(obs::build_git_describe()))
+                .set("jobs", ex_.jobs()));
     }
     return true;
 }
@@ -147,11 +175,23 @@ int Server::run() {
         threads.swap(threads_);
     }
     for (std::thread& t : threads) t.join();
+    // The scrape listener outlives the drain until here: a prober sees
+    // /healthz flip to 503 while in-flight requests finish.
+    metrics_http_.stop();
+    event_log_.info("server.drain",
+                    obs::Json::object()
+                        .set("requests_served", requests_served_.load())
+                        .set("checks_run", checks_run_.load())
+                        .set("uptime_seconds", uptime_.seconds()));
     return 0;
 }
 
 void Server::serve_connection(Fd fd) {
-    connections_active_.fetch_add(1, std::memory_order_relaxed);
+    const auto active =
+        connections_active_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (event_log_.should_log(obs::LogLevel::Debug))
+        event_log_.write(obs::LogLevel::Debug, "conn.accepted",
+                         obs::Json::object().set("active", active));
     std::mutex write_mu;  // serialises frames of one connection (batch rows)
     while (true) {
         pollfd pfd[2] = {{fd.get(), POLLIN, 0}, {shutdown_pipe_[0], POLLIN, 0}};
@@ -186,7 +226,19 @@ void Server::serve_connection(Fd fd) {
             break;
         if (draining()) break;
     }
-    connections_active_.fetch_sub(1, std::memory_order_relaxed);
+    const auto remaining =
+        connections_active_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    if (event_log_.should_log(obs::LogLevel::Debug))
+        event_log_.write(obs::LogLevel::Debug, "conn.closed",
+                         obs::Json::object().set("active", remaining));
+}
+
+std::string Server::request_trace(const obs::Json& req) {
+    if (const obs::Json* t = req.find("trace")) {
+        const std::string& id = t->as_string();
+        if (obs::plausible_trace_id(id)) return id;
+    }
+    return obs::generate_trace_id();
 }
 
 bool Server::handle_request(int fd, std::mutex& write_mu,
@@ -194,6 +246,14 @@ bool Server::handle_request(int fd, std::mutex& write_mu,
                             bool accepted_before_drain) {
     requests_served_.fetch_add(1, std::memory_order_relaxed);
     obs::counter("svc.requests").add();
+    Stopwatch req_timer;
+    // Every exit path feeds the request window so the 1s/10s/60s rates in
+    // the stats op count errors and fast ops alike.
+    struct WindowGuard {
+        Server* s;
+        Stopwatch& t;
+        ~WindowGuard() { s->window_requests_.record(t.nanos(), s->uptime_.nanos()); }
+    } window_guard{this, req_timer};
     const auto req = obs::Json::parse(payload);
     if (!req || req->kind() != obs::Json::Kind::Object) {
         errors_.fetch_add(1, std::memory_order_relaxed);
@@ -204,11 +264,25 @@ bool Server::handle_request(int fd, std::mutex& write_mu,
     const obs::Json* op = req->find("op");
     const std::string opname = op ? op->as_string() : std::string();
     const std::int64_t id = request_id(*req);
+    // Client-minted or server-minted: every request carries a trace id from
+    // here on -- response envelopes, event-log records and spans all stamp
+    // the same one (docs/OBSERVABILITY.md).
+    const std::string trace = request_trace(*req);
+    const bool lifecycle = opname == "check" || opname == "batch";
+    const auto level = lifecycle ? obs::LogLevel::Info : obs::LogLevel::Debug;
+    if (event_log_.should_log(level))
+        event_log_.write(level, "request.accepted",
+                         obs::Json::object()
+                             .set("trace", trace)
+                             .set("op", opname)
+                             .set("id", id));
     try {
         if (opname == "ping") {
             respond(fd, write_mu,
-                    make_ok(id).set("pong", true).set("protocol",
-                                                      kProtocolVersion));
+                    make_ok(id)
+                        .set("pong", true)
+                        .set("protocol", kProtocolVersion)
+                        .set("trace", trace));
             return true;
         }
         if (opname == "stats") {
@@ -218,11 +292,13 @@ bool Server::handle_request(int fd, std::mutex& write_mu,
                 const auto& [key, value] = stats.member(i);
                 resp.set(key, value);
             }
+            resp.set("trace", trace);
             respond(fd, write_mu, resp);
             return true;
         }
         if (opname == "shutdown") {
-            respond(fd, write_mu, make_ok(id).set("draining", true));
+            respond(fd, write_mu,
+                    make_ok(id).set("draining", true).set("trace", trace));
             request_shutdown();
             return false;
         }
@@ -231,36 +307,43 @@ bool Server::handle_request(int fd, std::mutex& write_mu,
                 errors_.fetch_add(1, std::memory_order_relaxed);
                 respond(fd, write_mu,
                         make_error(id, "shutting_down",
-                                   "server is draining; request not accepted"));
+                                   "server is draining; request not accepted")
+                            .set("trace", trace));
                 return false;
             }
             if (opname == "check")
-                handle_check(fd, write_mu, *req);
+                handle_check(fd, write_mu, *req, trace);
             else
-                handle_batch(fd, write_mu, *req);
+                handle_batch(fd, write_mu, *req, trace);
             return true;
         }
         errors_.fetch_add(1, std::memory_order_relaxed);
         respond(fd, write_mu,
-                make_error(id, "bad_request", "unknown op '" + opname + "'"));
+                make_error(id, "bad_request", "unknown op '" + opname + "'")
+                    .set("trace", trace));
         return true;
     } catch (const std::exception& e) {
         errors_.fetch_add(1, std::memory_order_relaxed);
-        respond(fd, write_mu, make_error(id, "internal", e.what()));
+        respond(fd, write_mu,
+                make_error(id, "internal", e.what()).set("trace", trace));
         return true;
     }
 }
 
-void Server::handle_check(int fd, std::mutex& write_mu, const obs::Json& req) {
+void Server::handle_check(int fd, std::mutex& write_mu, const obs::Json& req,
+                          const std::string& trace) {
     const std::int64_t id = request_id(req);
     const obs::Json* model = req.find("model");
     if (!model || model->kind() != obs::Json::Kind::String) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         respond(fd, write_mu,
                 make_error(id, "bad_request",
-                           "check requires a string 'model' member"));
+                           "check requires a string 'model' member")
+                    .set("trace", trace));
         return;
     }
+    obs::Span span("svc.check");
+    span.attr("trace", trace);
     const CheckOptions copts = CheckOptions::from_json(req.find("options"));
     std::uint64_t deadline_ms = cfg_.default_deadline_ms;
     if (const obs::Json* d = req.find("deadline_ms")) deadline_ms = d->as_uint();
@@ -274,18 +357,32 @@ void Server::handle_check(int fd, std::mutex& write_mu, const obs::Json& req) {
     if (!admit(token)) {
         deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
         errors_.fetch_add(1, std::memory_order_relaxed);
+        event_log_.info("check.deadline_exceeded",
+                        obs::Json::object()
+                            .set("trace", trace)
+                            .set("where", "queued")
+                            .set("queue_delay_ms", timer.millis()));
         respond(fd, write_mu,
-                make_error(id, "deadline_exceeded", kDeadlineQueued));
+                make_error(id, "deadline_exceeded", kDeadlineQueued)
+                    .set("trace", trace));
         return;
     }
+    if (event_log_.should_log(obs::LogLevel::Info))
+        event_log_.info("check.started",
+                        obs::Json::object()
+                            .set("trace", trace)
+                            .set("queue_delay_ms", timer.millis()));
     Outcome out = run_check(model->as_string(), copts, token);
     release();
+    window_checks_.record(timer.nanos(), uptime_.nanos());
+    log_check_outcome(trace, out, timer.seconds());
     if (!out.ok) {
         if (out.error_code == "deadline_exceeded")
             deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
         errors_.fetch_add(1, std::memory_order_relaxed);
         respond(fd, write_mu,
-                make_error(id, out.error_code, out.error_message));
+                make_error(id, out.error_code, out.error_message)
+                    .set("trace", trace));
         return;
     }
     obs::Json resp = make_ok(id);
@@ -298,11 +395,43 @@ void Server::handle_check(int fd, std::mutex& write_mu, const obs::Json& req) {
         .set("json", out.r.json)
         .set("cached", out.cache_tier ? obs::Json(std::string(out.cache_tier))
                                       : obs::Json(false))
-        .set("seconds", timer.seconds());
+        .set("seconds", timer.seconds())
+        .set("trace", trace);
     respond(fd, write_mu, resp);
 }
 
-void Server::handle_batch(int fd, std::mutex& write_mu, const obs::Json& req) {
+void Server::log_check_outcome(const std::string& trace, const Outcome& out,
+                               double seconds, std::int64_t batch_index) {
+    const char* event = "check.completed";
+    auto level = obs::LogLevel::Info;
+    if (!out.ok) {
+        event = out.error_code == "deadline_exceeded"
+                    ? "check.deadline_exceeded"
+                    : "check.error";
+        level = obs::LogLevel::Warn;
+    }
+    if (!event_log_.should_log(level)) return;
+    char hash_hex[17];
+    std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
+                  static_cast<unsigned long long>(out.model_hash));
+    obs::Json fields = obs::Json::object().set("trace", trace);
+    if (batch_index >= 0) fields.set("index", batch_index);
+    fields.set("model_hash", hash_hex);
+    if (out.ok) {
+        fields.set("cached", out.cache_tier
+                                 ? obs::Json(std::string(out.cache_tier))
+                                 : obs::Json(false))
+            .set("exit", out.r.exit_code)
+            .set("all_hold", out.r.all_hold);
+    } else {
+        fields.set("code", out.error_code).set("message", out.error_message);
+    }
+    fields.set("seconds", seconds);
+    event_log_.write(level, event, std::move(fields));
+}
+
+void Server::handle_batch(int fd, std::mutex& write_mu, const obs::Json& req,
+                          const std::string& trace) {
     const std::int64_t id = request_id(req);
     const obs::Json* models = req.find("models");
     if (!models || models->kind() != obs::Json::Kind::Array ||
@@ -310,7 +439,8 @@ void Server::handle_batch(int fd, std::mutex& write_mu, const obs::Json& req) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         respond(fd, write_mu,
                 make_error(id, "bad_request",
-                           "batch requires a non-empty 'models' array"));
+                           "batch requires a non-empty 'models' array")
+                    .set("trace", trace));
         return;
     }
     struct Item {
@@ -330,7 +460,8 @@ void Server::handle_batch(int fd, std::mutex& write_mu, const obs::Json& req) {
             respond(fd, write_mu,
                     make_error(id, "bad_request",
                                "batch models[" + std::to_string(i) +
-                                   "] lacks a string 'model' member"));
+                                   "] lacks a string 'model' member")
+                        .set("trace", trace));
             return;
         }
         Item item;
@@ -355,10 +486,22 @@ void Server::handle_batch(int fd, std::mutex& write_mu, const obs::Json& req) {
     if (!admit(token)) {
         deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
         errors_.fetch_add(1, std::memory_order_relaxed);
+        event_log_.info("check.deadline_exceeded",
+                        obs::Json::object()
+                            .set("trace", trace)
+                            .set("where", "queued")
+                            .set("queue_delay_ms", timer.millis()));
         respond(fd, write_mu,
-                make_error(id, "deadline_exceeded", kDeadlineQueued));
+                make_error(id, "deadline_exceeded", kDeadlineQueued)
+                    .set("trace", trace));
         return;
     }
+    if (event_log_.should_log(obs::LogLevel::Info))
+        event_log_.info("check.started",
+                        obs::Json::object()
+                            .set("trace", trace)
+                            .set("models", models->size())
+                            .set("queue_delay_ms", timer.millis()));
     // One admission slot covers the whole batch; the models fan out on the
     // shared pool exactly like stgbatch's model-parallel loop, and each row
     // streams back in completion order as soon as its model finishes.
@@ -366,10 +509,13 @@ void Server::handle_batch(int fd, std::mutex& write_mu, const obs::Json& req) {
     sched::parallel_for(ex_, items.size(), [&](std::size_t i) {
         Stopwatch row_timer;
         Outcome out = run_check(*items[i].text, copts, token);
+        window_checks_.record(row_timer.nanos(), uptime_.nanos());
+        log_check_outcome(trace, out, row_timer.seconds(), items[i].index);
         obs::Json frame = make_ok(id);
         frame.set("event", "row")
             .set("index", items[i].index)
-            .set("file", items[i].file);
+            .set("file", items[i].file)
+            .set("trace", trace);
         if (out.ok) {
             if (out.r.all_hold)
                 ok_count.fetch_add(1, std::memory_order_relaxed);
@@ -396,6 +542,7 @@ void Server::handle_batch(int fd, std::mutex& write_mu, const obs::Json& req) {
     release();
     obs::Json done = make_ok(id);
     done.set("event", "done")
+        .set("trace", trace)
         .set("summary",
              obs::Json::object()
                  .set("total", items.size())
@@ -411,6 +558,7 @@ Server::Outcome Server::run_check(const std::string& model_text,
                                   const sched::CancellationToken& deadline) {
     Outcome out;
     const std::uint64_t hash = cache::fnv1a64(model_text);
+    out.model_hash = hash;
     const std::string sig = copts.signature();
     const std::string key = std::to_string(hash) + '|' + sig;
     if (copts.use_cache) {
@@ -607,13 +755,18 @@ bool Server::rendered_from_payload(const obs::Json& v, Rendered& out) {
 
 bool Server::admit(const sched::CancellationToken& deadline) {
     Stopwatch wait;
+    gate_waiting_.fetch_add(1, std::memory_order_relaxed);
     std::unique_lock<std::mutex> lock(gate_mu_);
     while (gate_inflight_ >= gate_cap_) {
-        if (deadline.cancelled()) return false;
+        if (deadline.cancelled()) {
+            gate_waiting_.fetch_sub(1, std::memory_order_relaxed);
+            return false;
+        }
         gate_cv_.wait_for(lock, std::chrono::milliseconds(5));
     }
     ++gate_inflight_;
     lock.unlock();
+    gate_waiting_.fetch_sub(1, std::memory_order_relaxed);
     if (obs::enabled())
         obs::histogram("svc.admission_wait_ns").observe(wait.nanos());
     return true;
@@ -639,6 +792,12 @@ bool Server::respond(int fd, std::mutex& write_mu, const obs::Json& response) {
 }
 
 obs::Json Server::stats_json() {
+    // Refresh the liveness gauges so the registry snapshot below (and any
+    // concurrent /metrics scrape) reports current values.
+    obs::gauge("svc.open_connections")
+        .set(static_cast<std::int64_t>(connections_active_.load()));
+    obs::gauge("mem.rss_bytes")
+        .set(static_cast<std::int64_t>(obs::process_rss_bytes()));
     obs::Json listen = obs::Json::array();
     for (const std::string& b : bound_) listen.push(b);
     obs::Json server = obs::Json::object()
@@ -649,7 +808,11 @@ obs::Json Server::stats_json() {
                            .set("max_inflight", gate_cap_)
                            .set("draining", draining())
                            .set("cache_dir", rcache_.dir())
-                           .set("listen", std::move(listen));
+                           .set("listen", std::move(listen))
+                           .set("metrics_listen", metrics_http_.bound())
+                           .set("event_log", event_log_.path())
+                           .set("rss_bytes", obs::process_rss_bytes())
+                           .set("build", obs::build_info());
     std::size_t inflight;
     {
         std::lock_guard<std::mutex> lock(gate_mu_);
@@ -661,6 +824,7 @@ obs::Json Server::stats_json() {
             .set("connections_active", connections_active_.load())
             .set("served", requests_served_.load())
             .set("inflight", inflight)
+            .set("queued", gate_waiting_.load())
             .set("checks_run", checks_run_.load())
             .set("deadline_exceeded", deadline_exceeded_.load())
             .set("errors", errors_.load());
@@ -679,11 +843,82 @@ obs::Json Server::stats_json() {
                           .set("memory_hits", memory_hits_.load())
                           .set("disk_hits", disk_hits_.load())
                           .set("misses", misses_.load());
+    const std::uint64_t now_ns = uptime_.nanos();
+    obs::Json rolling = obs::Json::object()
+                            .set("requests", window_requests_.to_json(now_ns))
+                            .set("checks", window_checks_.to_json(now_ns));
     return obs::Json::object()
         .set("server", std::move(server))
         .set("requests", std::move(requests))
         .set("cache", std::move(cache))
+        .set("rolling", std::move(rolling))
         .set("metrics", obs::Registry::instance().to_json());
+}
+
+HttpResponse Server::handle_http(const std::string& path) {
+    HttpResponse resp;
+    if (path == "/metrics") {
+        obs::gauge("svc.open_connections")
+            .set(static_cast<std::int64_t>(connections_active_.load()));
+        obs::gauge("mem.rss_bytes")
+            .set(static_cast<std::int64_t>(obs::process_rss_bytes()));
+        std::string body = obs::prometheus_text();
+        // Rolling-window rates and quantiles are synthesized gauges: they
+        // are not registry metrics (each scrape computes them for "now"),
+        // so they are rendered here instead of by prometheus_text().
+        const std::uint64_t now_ns = uptime_.nanos();
+        char line[128];
+        const auto window_gauges = [&](const char* name,
+                                       const obs::RollingWindow& w) {
+            body += "# TYPE ";
+            body += name;
+            body += "_rate gauge\n";
+            for (const std::uint64_t win : obs::RollingWindow::kWindows) {
+                std::snprintf(line, sizeof line,
+                              "%s_rate{window=\"%llus\"} %g\n", name,
+                              static_cast<unsigned long long>(win),
+                              w.rate(win, now_ns));
+                body += line;
+            }
+            body += "# TYPE ";
+            body += name;
+            body += "_latency_ns gauge\n";
+            constexpr double kQ[3] = {0.50, 0.90, 0.99};
+            constexpr const char* kLabel[3] = {"0.5", "0.9", "0.99"};
+            for (int i = 0; i < 3; ++i) {
+                std::snprintf(line, sizeof line,
+                              "%s_latency_ns{quantile=\"%s\"} %g\n", name,
+                              kLabel[i], w.quantile(60, kQ[i], now_ns));
+                body += line;
+            }
+        };
+        window_gauges("stgcc_svc_requests", window_requests_);
+        window_gauges("stgcc_svc_checks", window_checks_);
+        resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        resp.body = std::move(body);
+        return resp;
+    }
+    if (path == "/healthz") {
+        if (draining()) {
+            resp.status = 503;
+            resp.body = "draining\n";
+        } else {
+            resp.body = "ok\n";
+        }
+        return resp;
+    }
+    if (path == "/buildinfo") {
+        resp.content_type = "application/json";
+        resp.body = obs::build_info()
+                        .set("pid", static_cast<std::int64_t>(::getpid()))
+                        .set("uptime_seconds", uptime_.seconds())
+                        .dump(2);
+        resp.body += '\n';
+        return resp;
+    }
+    resp.status = 404;
+    resp.body = "not found (try /metrics, /healthz, /buildinfo)\n";
+    return resp;
 }
 
 }  // namespace stgcc::svc

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -48,9 +49,12 @@
 #include "cache/prefix_artifacts.hpp"
 #include "cache/result_cache.hpp"
 #include "core/verifier.hpp"
+#include "obs/eventlog.hpp"
+#include "obs/expo.hpp"
 #include "sched/cancellation.hpp"
 #include "sched/parallel.hpp"
 #include "svc/frame.hpp"
+#include "svc/http.hpp"
 #include "svc/protocol.hpp"
 #include "svc/socket.hpp"
 #include "util/stopwatch.hpp"
@@ -77,6 +81,14 @@ struct ServerConfig {
     std::size_t bundle_slots = 8;
     /// Rendered-verdict entries kept in memory before the map is flushed.
     std::size_t result_slots = 4096;
+    /// HTTP scrape endpoint serving /metrics, /healthz and /buildinfo
+    /// (docs/OBSERVABILITY.md); nullopt = no metrics listener.
+    std::optional<Endpoint> metrics_listen;
+    /// JSONL event-log path ("" = no event log), minimum record level and
+    /// rotation threshold (obs/eventlog.hpp).
+    std::string event_log_path;
+    obs::LogLevel event_log_level = obs::LogLevel::Info;
+    std::uint64_t event_log_max_bytes = 64u << 20;
 };
 
 class Server {
@@ -95,6 +107,16 @@ public:
     [[nodiscard]] const std::vector<std::string>& bound() const noexcept {
         return bound_;
     }
+
+    /// Resolved metrics-listener address ("" when no metrics listener was
+    /// configured).  Valid after start().
+    [[nodiscard]] const std::string& metrics_bound() const noexcept {
+        return metrics_http_.bound();
+    }
+
+    /// The server's structured event log (disabled when no path was
+    /// configured); exposed so stgd can stamp start/stop records.
+    [[nodiscard]] obs::EventLog& event_log() noexcept { return event_log_; }
 
     /// Accept loop; returns after a drain completes (exit code 0) or on a
     /// listener-level failure (2).  Call from the thread that owns the
@@ -135,6 +157,7 @@ private:
         std::string error_message;
         Rendered r;
         const char* cache_tier = nullptr;  ///< "memory" / "disk" / nullptr
+        std::uint64_t model_hash = 0;      ///< fnv1a64 of the model text
     };
 
     /// Parse + contraction + unfolding of one model text, shared across
@@ -156,8 +179,14 @@ private:
     /// answered with `shutting_down`).
     bool handle_request(int fd, std::mutex& write_mu, const std::string& payload,
                         bool accepted_before_drain);
-    void handle_check(int fd, std::mutex& write_mu, const obs::Json& req);
-    void handle_batch(int fd, std::mutex& write_mu, const obs::Json& req);
+    void handle_check(int fd, std::mutex& write_mu, const obs::Json& req,
+                      const std::string& trace);
+    void handle_batch(int fd, std::mutex& write_mu, const obs::Json& req,
+                      const std::string& trace);
+
+    /// /metrics, /healthz, /buildinfo responder (runs on the metrics
+    /// listener's accept thread).
+    [[nodiscard]] HttpResponse handle_http(const std::string& path);
 
     [[nodiscard]] Outcome run_check(const std::string& model_text,
                                     const CheckOptions& copts,
@@ -176,12 +205,27 @@ private:
     bool admit(const sched::CancellationToken& deadline);
     void release();
 
+    /// Pull the trace id out of a request frame, or mint one when absent or
+    /// implausible (obs/eventlog.hpp) -- every request ends up with one.
+    [[nodiscard]] static std::string request_trace(const obs::Json& req);
+
+    /// Event-log record of one check outcome (shared by check and batch).
+    void log_check_outcome(const std::string& trace, const Outcome& out,
+                           double seconds, std::int64_t batch_index = -1);
+
     bool respond(int fd, std::mutex& write_mu, const obs::Json& response);
 
     ServerConfig cfg_;
     sched::Executor ex_;
     cache::ResultCache rcache_;
     Stopwatch uptime_;
+    obs::EventLog event_log_;
+    HttpServer metrics_http_;
+
+    /// Sliding-window telemetry, fed off the uptime clock: every handled
+    /// request frame / every completed check, sample = latency in ns.
+    obs::RollingWindow window_requests_;
+    obs::RollingWindow window_checks_;
 
     std::vector<Fd> listeners_;
     std::vector<std::string> bound_;
@@ -196,6 +240,7 @@ private:
     std::condition_variable gate_cv_;
     std::size_t gate_inflight_ = 0;
     std::size_t gate_cap_ = 1;
+    std::atomic<std::uint64_t> gate_waiting_{0};  ///< queued behind the gate
 
     std::mutex bundles_mu_;
     std::vector<std::shared_ptr<Bundle>> bundles_;

@@ -21,6 +21,7 @@
 
 #include "cache/result_cache.hpp"
 #include "core/verifier.hpp"
+#include "obs/eventlog.hpp"
 #include "obs/json.hpp"
 #include "stg/astg.hpp"
 #include "stg/benchmarks.hpp"
@@ -569,6 +570,215 @@ TEST_F(SvcServerTest, OversizedRequestIsRejected) {
     // The stream offset past an oversized header is unknowable; the server
     // closes the connection after the error.
     EXPECT_FALSE(client.recv(error).has_value());
+}
+
+// ------------------------------------------- telemetry: traces and HTTP
+
+std::vector<obs::Json> parse_event_log(const std::string& path) {
+    std::vector<obs::Json> records;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        auto j = obs::Json::parse(line);
+        EXPECT_TRUE(j.has_value()) << line;
+        if (j) records.push_back(std::move(*j));
+    }
+    return records;
+}
+
+bool has_event_with_trace(const std::vector<obs::Json>& records,
+                          const std::string& event,
+                          const std::string& trace) {
+    for (const obs::Json& r : records) {
+        const obs::Json* e = r.find("event");
+        const obs::Json* t = r.find("trace");
+        if (e && t && e->as_string() == event && t->as_string() == trace)
+            return true;
+    }
+    return false;
+}
+
+TEST_F(SvcServerTest, ClientTraceIdCorrelatesResponseAndEventLog) {
+    svc::ServerConfig cfg;
+    cfg.event_log_path = (work_ / "events.jsonl").string();
+    cfg.event_log_level = obs::LogLevel::Debug;
+    start(std::move(cfg));
+    const std::string model_text =
+        read_model_file(std::string(STGCC_MODELS_DIR) + "/vme.g");
+    const std::string trace = "cafe0123deadbeef";
+
+    svc::Client client = connect(server_->bound()[0]);
+    std::string error;
+    obs::Json request = check_request(1, model_text);
+    request.set("trace", trace);
+    auto resp = client.call(request, error);
+    ASSERT_TRUE(resp.has_value()) << error;
+    ASSERT_TRUE(svc::response_ok(*resp)) << svc::response_error(*resp);
+    // The response envelope echoes the client-minted id verbatim.
+    ASSERT_NE(resp->find("trace"), nullptr);
+    EXPECT_EQ(resp->find("trace")->as_string(), trace);
+
+    // A request without a trace gets a server-minted plausible one.
+    auto pong = client.call(
+        obs::Json::object().set("op", "ping").set("id", 2), error);
+    ASSERT_TRUE(pong.has_value()) << error;
+    ASSERT_NE(pong->find("trace"), nullptr);
+    EXPECT_TRUE(obs::plausible_trace_id(pong->find("trace")->as_string()));
+    EXPECT_NE(pong->find("trace")->as_string(), trace);
+
+    client.close();
+    stop();  // drain flushes server.drain into the log
+
+    // One grep-able id ties the whole server-side lifecycle together.
+    const auto records = parse_event_log((work_ / "events.jsonl").string());
+    ASSERT_FALSE(records.empty());
+    EXPECT_TRUE(has_event_with_trace(records, "request.accepted", trace));
+    EXPECT_TRUE(has_event_with_trace(records, "check.started", trace));
+    EXPECT_TRUE(has_event_with_trace(records, "check.completed", trace));
+    bool saw_start = false, saw_drain = false;
+    for (const obs::Json& r : records) {
+        const std::string event = r.find("event")->as_string();
+        if (event == "server.start") saw_start = true;
+        if (event == "server.drain") saw_drain = true;
+        ASSERT_NE(r.find("ts_ms"), nullptr);
+        ASSERT_NE(r.find("level"), nullptr);
+    }
+    EXPECT_TRUE(saw_start);
+    EXPECT_TRUE(saw_drain);
+}
+
+TEST_F(SvcServerTest, BatchFramesAllCarryTheClientTrace) {
+    svc::ServerConfig cfg;
+    cfg.event_log_path = (work_ / "events.jsonl").string();
+    start(std::move(cfg));
+    const std::string model_text =
+        read_model_file(std::string(STGCC_MODELS_DIR) + "/vme.g");
+    const std::string trace = "batch-trace.0042";
+    obs::Json models = obs::Json::array();
+    models.push(obs::Json::object().set("index", 0).set("file", "a.g").set(
+        "model", model_text));
+    models.push(obs::Json::object().set("index", 1).set("file", "b.g").set(
+        "model", model_text));
+    svc::Client client = connect(server_->bound()[0]);
+    std::string error;
+    ASSERT_TRUE(client.send(obs::Json::object()
+                                .set("op", "batch")
+                                .set("id", 7)
+                                .set("trace", trace)
+                                .set("models", std::move(models))
+                                .set("options", svc::CheckOptions{}.to_json()),
+                            error));
+    int rows = 0;
+    bool done = false;
+    while (!done) {
+        auto frame = client.recv(error);
+        ASSERT_TRUE(frame.has_value()) << error;
+        ASSERT_TRUE(svc::response_ok(*frame)) << svc::response_error(*frame);
+        ASSERT_NE(frame->find("trace"), nullptr);
+        EXPECT_EQ(frame->find("trace")->as_string(), trace);
+        const std::string event = frame->find("event")->as_string();
+        if (event == "done")
+            done = true;
+        else
+            ++rows;
+    }
+    EXPECT_EQ(rows, 2);
+    client.close();
+    stop();
+    const auto records = parse_event_log((work_ / "events.jsonl").string());
+    EXPECT_TRUE(has_event_with_trace(records, "request.accepted", trace));
+    EXPECT_TRUE(has_event_with_trace(records, "check.completed", trace));
+}
+
+/// Blocking HTTP/1.0 GET against `endpoint`; returns the body and fills
+/// `status_line` with the first response line.
+std::string http_get(const std::string& endpoint, const std::string& path,
+                     std::string& status_line) {
+    std::string error;
+    auto ep = svc::parse_endpoint(endpoint, error);
+    EXPECT_TRUE(ep.has_value()) << endpoint << ": " << error;
+    if (!ep) return {};
+    svc::Fd fd = svc::connect_endpoint(*ep, error);
+    EXPECT_TRUE(fd.valid()) << error;
+    if (!fd.valid()) return {};
+    const std::string request =
+        "GET " + path + " HTTP/1.0\r\nHost: test\r\n\r\n";
+    std::size_t off = 0;
+    while (off < request.size()) {
+        const ssize_t n =
+            ::write(fd.get(), request.data() + off, request.size() - off);
+        if (n <= 0) break;
+        off += static_cast<std::size_t>(n);
+    }
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(fd.get(), buf, sizeof buf)) > 0)
+        response.append(buf, static_cast<std::size_t>(n));
+    const auto eol = response.find("\r\n");
+    status_line =
+        eol == std::string::npos ? response : response.substr(0, eol);
+    const auto body = response.find("\r\n\r\n");
+    return body == std::string::npos ? std::string()
+                                     : response.substr(body + 4);
+}
+
+TEST_F(SvcServerTest, MetricsListenerServesScrapeHealthAndBuildInfo) {
+    svc::ServerConfig cfg;
+    std::string error;
+    cfg.metrics_listen = *svc::parse_endpoint("127.0.0.1:0", error);
+    start(std::move(cfg));
+    ASSERT_FALSE(server_->metrics_bound().empty());
+    const std::string http = server_->metrics_bound();
+
+    // Serve one verification so the counters are non-trivial.
+    svc::Client client = connect(server_->bound()[0]);
+    auto resp = client.call(
+        check_request(1, read_model_file(std::string(STGCC_MODELS_DIR) +
+                                         "/vme.g")),
+        error);
+    ASSERT_TRUE(resp.has_value()) << error;
+
+    std::string status;
+    const std::string metrics = http_get(http, "/metrics", status);
+    EXPECT_NE(status.find("200"), std::string::npos) << status;
+    EXPECT_NE(metrics.find("# TYPE stgcc_svc_requests_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("stgcc_svc_check_misses_total"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("# TYPE stgcc_svc_open_connections gauge\n"),
+              std::string::npos);
+    // The synthesized rolling gauges ride along with the registry scrape.
+    EXPECT_NE(metrics.find("stgcc_svc_requests_rate{window=\"1s\"}"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("stgcc_svc_checks_latency_ns{quantile=\"0.99\"}"),
+              std::string::npos);
+
+    const std::string health = http_get(http, "/healthz", status);
+    EXPECT_NE(status.find("200"), std::string::npos) << status;
+    EXPECT_EQ(health, "ok\n");
+
+    const std::string build = http_get(http, "/buildinfo", status);
+    EXPECT_NE(status.find("200"), std::string::npos) << status;
+    const auto parsed = obs::Json::parse(build);
+    ASSERT_TRUE(parsed.has_value()) << build;
+    EXPECT_FALSE(parsed->find("git")->as_string().empty());
+    ASSERT_NE(parsed->find("pid"), nullptr);
+
+    http_get(http, "/nothing-here", status);
+    EXPECT_NE(status.find("404"), std::string::npos) << status;
+
+    // The stats op mirrors the same telemetry for protocol clients.
+    auto stats = client.call(
+        obs::Json::object().set("op", "stats").set("id", 2), error);
+    ASSERT_TRUE(stats.has_value()) << error;
+    const obs::Json* server = stats->find("server");
+    ASSERT_NE(server, nullptr);
+    EXPECT_EQ(server->find("metrics_listen")->as_string(), http);
+    ASSERT_NE(server->find("build"), nullptr);
+    ASSERT_NE(stats->find("rolling"), nullptr);
+    ASSERT_NE(stats->find("rolling")->find("requests")->find("rate_60s"),
+              nullptr);
 }
 
 // ------------------------------------------------------- stgd binary e2e

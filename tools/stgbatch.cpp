@@ -31,6 +31,7 @@
 #include "cache/clause_store.hpp"
 #include "cache/result_cache.hpp"
 #include "core/verifier.hpp"
+#include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -238,9 +239,13 @@ int run_connected(const char* connect, const char* manifest,
     }
 
     if (sent > 0) {
+        // One trace id covers the whole batch: every server-side row event
+        // carries it alongside its model index (docs/OBSERVABILITY.md).
+        const std::string trace = obs::generate_trace_id();
         obs::Json request = obs::Json::object()
                                 .set("op", "batch")
                                 .set("id", 1)
+                                .set("trace", trace)
                                 .set("models", std::move(models))
                                 .set("options", copts.to_json());
         if (deadline_ms > 0) request.set("deadline_ms", deadline_ms);

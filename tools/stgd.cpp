@@ -46,6 +46,16 @@ void print_usage(std::ostream& out) {
            "(default: 8)\n"
            "  --stats FILE        write the final stats snapshot JSON on "
            "exit\n"
+           "  --metrics-listen EP HTTP scrape endpoint serving /metrics,\n"
+           "                      /healthz and /buildinfo (same endpoint\n"
+           "                      syntax as --listen; default: none)\n"
+           "  --event-log FILE    structured JSONL event log "
+           "(docs/OBSERVABILITY.md)\n"
+           "  --event-log-level L minimum record level: debug, info, warn,\n"
+           "                      error (default: info)\n"
+           "  --event-log-max-bytes N\n"
+           "                      rotate the event log past N bytes "
+           "(default: 64 MiB)\n"
            "  --quiet             suppress the startup/shutdown lines\n"
            "\n"
            "exit codes: 0 = clean drain, 2 = usage or bind error\n";
@@ -103,6 +113,25 @@ int main(int argc, char** argv) {
             std::uint64_t v = 0;
             if (!uint_arg("--bundle-slots", v)) return 2;
             cfg.bundle_slots = static_cast<std::size_t>(v);
+        } else if (!std::strcmp(argv[i], "--metrics-listen") && i + 1 < argc) {
+            std::string error;
+            const auto ep = svc::parse_endpoint(argv[++i], error);
+            if (!ep) {
+                std::cerr << "error: " << error << "\n";
+                return 2;
+            }
+            cfg.metrics_listen = *ep;
+        } else if (!std::strcmp(argv[i], "--event-log") && i + 1 < argc) {
+            cfg.event_log_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--event-log-level") && i + 1 < argc) {
+            if (!obs::parse_log_level(argv[++i], cfg.event_log_level)) {
+                std::cerr << "bad --event-log-level value: " << argv[i]
+                          << " (debug, info, warn or error)\n";
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--event-log-max-bytes")) {
+            if (!uint_arg("--event-log-max-bytes", cfg.event_log_max_bytes))
+                return 2;
         } else if (!std::strcmp(argv[i], "--cache-dir") && i + 1 < argc) {
             cache_dir_flag = argv[++i];
             cache_dir_set = true;
@@ -147,6 +176,12 @@ int main(int argc, char** argv) {
     if (!quiet) {
         for (const std::string& b : server.bound())
             std::cout << "stgd: listening on " << b << "\n";
+        if (!server.metrics_bound().empty())
+            std::cout << "stgd: metrics on http://" << server.metrics_bound()
+                      << "/metrics\n";
+        if (server.event_log().enabled())
+            std::cout << "stgd: event log " << server.event_log().path()
+                      << "\n";
         std::cout.flush();
     }
 
