@@ -3,9 +3,12 @@
 // Reads an STG in the petrify/punf interchange format, builds its complete
 // prefix and reports consistency, USC, CSC and normalcy with witness
 // execution paths.  --state-based additionally runs the explicit state-graph
-// baseline for comparison; --dot dumps the prefix as Graphviz; --contract
-// securely removes dummy transitions first; --deadlock runs the section 5
-// deadlock check; --synthesize derives next-state covers (requires CSC).
+// baseline for comparison; --dot dumps the prefix as Graphviz; --reduce runs
+// the verdict-preserving reduction pipeline first (docs/REDUCTIONS.md;
+// --contract is the legacy alias for --reduce=contract); --deadlock runs the
+// section 5 deadlock check; --synthesize derives next-state covers (requires
+// CSC).  A `.pnml` input file is dispatched to the Petri-side analyses
+// instead: reachability-graph construction, boundedness and deadlock.
 //
 // Observability: --trace writes a Chrome trace-event JSON (load it in
 // chrome://tracing or https://ui.perfetto.dev), --metrics prints the metrics
@@ -23,6 +26,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <string_view>
 
 #include "cache/result_cache.hpp"
 #include "core/conflict_cores.hpp"
@@ -35,8 +39,11 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "petri/pnml.hpp"
+#include "petri/reachability.hpp"
 #include "stg/astg.hpp"
 #include "stg/logic.hpp"
+#include "stg/reduce/reduce.hpp"
 #include "stg/state_checks.hpp"
 #include "stg/state_graph.hpp"
 #include "util/stopwatch.hpp"
@@ -44,7 +51,10 @@
 namespace {
 
 void print_usage(std::ostream& out) {
-    out << "usage: stgcheck file.g [options]\n"
+    out << "usage: stgcheck file.g|file.pnml [options]\n"
+           "\n"
+           "A .pnml input runs the Petri-side analyses instead of the STG\n"
+           "pipeline: reachability graph, boundedness and deadlock.\n"
            "\n"
            "execution:\n"
            "  --jobs N            worker threads for the checking phases\n"
@@ -54,7 +64,13 @@ void print_usage(std::ostream& out) {
            "\n"
            "checks:\n"
            "  --no-normalcy       skip the normalcy check\n"
-           "  --contract          securely contract dummy transitions first\n"
+           "  --reduce[=LIST]     verdict-preserving net reductions before\n"
+           "                      unfolding (docs/REDUCTIONS.md): all passes,\n"
+           "                      or a comma list of contract,series,\n"
+           "                      dup-place,const-place; witnesses are still\n"
+           "                      reported on the original net\n"
+           "  --no-reduce         disable reductions (the default)\n"
+           "  --contract          legacy alias for --reduce=contract\n"
            "  --deadlock          also run the deadlock check (section 5)\n"
            "  --persistency       also check output persistency\n"
            "  --state-based       cross-check against the explicit state-graph "
@@ -94,8 +110,8 @@ void print_usage(std::ostream& out) {
 /// verdict locally -- same stdout shape as a cache-hit run, same exit code
 /// as a local verification (docs/SERVICE.md).
 int run_connected(const char* connect, const char* path, const char* json_path,
-                  bool normalcy, bool contract, bool deadlock, bool persistency,
-                  bool use_cache, std::uint64_t deadline_ms) {
+                  const stgcc::svc::CheckOptions& copts,
+                  std::uint64_t deadline_ms) {
     using namespace stgcc;
     const auto bytes = cache::read_file_bytes(path);
     if (!bytes) {
@@ -108,12 +124,6 @@ int run_connected(const char* connect, const char* path, const char* json_path,
         std::cerr << "error: " << error << "\n";
         return 2;
     }
-    svc::CheckOptions copts;
-    copts.normalcy = normalcy;
-    copts.contract = contract;
-    copts.deadlock = deadlock;
-    copts.persistency = persistency;
-    copts.use_cache = use_cache;
     // Client-minted trace id: the server stamps it into its spans, event
     // log and the response envelope, so one id correlates this invocation
     // with the server-side work (docs/OBSERVABILITY.md).
@@ -165,6 +175,66 @@ int run_connected(const char* connect, const char* path, const char* json_path,
     return static_cast<int>(exit_code->as_int());
 }
 
+/// True when `path` names a PNML file (case-sensitive extension match).
+bool is_pnml_path(const char* path) {
+    const std::string_view p(path);
+    constexpr std::string_view kExt = ".pnml";
+    return p.size() > kExt.size() &&
+           p.substr(p.size() - kExt.size()) == kExt;
+}
+
+/// `.pnml` input: the model is a plain Petri net, not an STG, so the coding
+/// checks do not apply.  Run the Petri-side analyses on the explicit
+/// reachability graph instead: state/edge counts, boundedness, deadlock
+/// (with a minimal firing sequence to the first deadlocked marking).
+int run_pnml(const char* path, const char* json_path) {
+    using namespace stgcc;
+    petri::NetSystem sys = petri::load_pnml_file(path);
+    const petri::Net& net = sys.net();
+    Stopwatch timer;
+    petri::ReachabilityGraph rg(sys);
+    const auto deadlocks = rg.deadlocks();
+    std::cout << "petri net: " << net.num_places() << " places, "
+              << net.num_transitions() << " transitions\n"
+              << "reachability: " << rg.num_states() << " states, "
+              << rg.num_edges() << " edges\n"
+              << "bounded: " << rg.bound() << "-bounded"
+              << (rg.is_safe() ? " (safe)" : "") << "\n"
+              << "deadlock: "
+              << (deadlocks.empty()
+                      ? "free"
+                      : std::to_string(deadlocks.size()) + " state(s)")
+              << "\n";
+    std::string deadlock_via;
+    if (!deadlocks.empty()) {
+        deadlock_via = "deadlock via:";
+        for (const petri::TransitionId t : rg.path_to(deadlocks.front()))
+            deadlock_via += " " + net.transition_name(t);
+        std::cout << deadlock_via << "\n";
+    }
+    std::cout << "reachability time: " << timer.seconds() << " s\n";
+    if (json_path) {
+        obs::Json body = obs::Json::object()
+                             .set("places", net.num_places())
+                             .set("transitions", net.num_transitions())
+                             .set("states", rg.num_states())
+                             .set("edges", rg.num_edges())
+                             .set("bound", rg.bound())
+                             .set("safe", rg.is_safe())
+                             .set("deadlock_free", deadlocks.empty())
+                             .set("deadlock_states", deadlocks.size());
+        if (!deadlock_via.empty()) body.set("deadlock_via", deadlock_via);
+        body.set("build", obs::build_info());
+        if (!obs::save_json(json_path,
+                            obs::make_report("stgcheck", std::move(body)))) {
+            std::cerr << "error: cannot write " << json_path << "\n";
+            return 2;
+        }
+        std::cout << "report written to " << json_path << "\n";
+    }
+    return deadlocks.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -179,7 +249,7 @@ int main(int argc, char** argv) {
     const char* json_path = nullptr;
     bool normalcy = true;
     bool state_based = false;
-    bool contract = false;
+    std::string reduce_spec = "none";
     bool deadlock = false;
     bool synthesize = false;
     bool cores = false;
@@ -196,7 +266,13 @@ int main(int argc, char** argv) {
         else if (!std::strcmp(argv[i], "--state-based"))
             state_based = true;
         else if (!std::strcmp(argv[i], "--contract"))
-            contract = true;
+            reduce_spec = "contract";  // legacy alias for --reduce=contract
+        else if (!std::strcmp(argv[i], "--reduce"))
+            reduce_spec = "all";
+        else if (!std::strncmp(argv[i], "--reduce=", 9))
+            reduce_spec = argv[i] + 9;
+        else if (!std::strcmp(argv[i], "--no-reduce"))
+            reduce_spec = "none";
         else if (!std::strcmp(argv[i], "--deadlock"))
             deadlock = true;
         else if (!std::strcmp(argv[i], "--persistency"))
@@ -250,6 +326,36 @@ int main(int argc, char** argv) {
         std::cerr << "no input file\n";
         return 2;
     }
+    // Reject an unknown pass list up front (usage error, not a model error).
+    try {
+        (void)stg::reduce::Options::parse(reduce_spec);
+    } catch (const std::exception& ex) {
+        std::cerr << "bad --reduce value: " << ex.what() << "\n";
+        return 2;
+    }
+    // One options signature for every cache the verdict may land in --
+    // stgcheck's rendered entries, stgd's, and the shared semantic tier all
+    // embed CheckOptions::signature() (docs/CACHING.md).
+    svc::CheckOptions copts;
+    copts.normalcy = normalcy;
+    copts.reduce = reduce_spec;
+    copts.deadlock = deadlock;
+    copts.persistency = persistency;
+    copts.use_cache = use_cache;
+    if (is_pnml_path(path)) {
+        if (connect || state_based || synthesize || cores || dot_path ||
+            trace_path || metrics) {
+            std::cerr << "error: .pnml inputs run the Petri-side analyses "
+                         "only (no STG pipeline flags, no --connect)\n";
+            return 2;
+        }
+        try {
+            return run_pnml(path, json_path);
+        } catch (const std::exception& ex) {
+            std::cerr << "error: " << ex.what() << "\n";
+            return 2;
+        }
+    }
     if (connect) {
         if (state_based || synthesize || cores || dot_path || trace_path ||
             metrics) {
@@ -258,8 +364,7 @@ int main(int argc, char** argv) {
                          "not supported with --connect\n";
             return 2;
         }
-        return run_connected(connect, path, json_path, normalcy, contract,
-                             deadlock, persistency, use_cache, deadline_ms);
+        return run_connected(connect, path, json_path, copts, deadline_ms);
     }
 
     // Any observability output turns the instrumentation on; the default
@@ -281,10 +386,7 @@ int main(int argc, char** argv) {
     const bool cacheable = rcache.enabled() && !json_path && !trace_path &&
                            !metrics && !synthesize && !cores && !dot_path &&
                            !state_based;
-    const std::string options_sig =
-        std::string("stgcheck/1;normalcy=") + (normalcy ? "1" : "0") +
-        ";contract=" + (contract ? "1" : "0") + ";deadlock=" +
-        (deadlock ? "1" : "0") + ";persistency=" + (persistency ? "1" : "0");
+    const std::string options_sig = copts.signature();
 
     try {
         obs::Span root("stgcheck");
@@ -319,21 +421,28 @@ int main(int argc, char** argv) {
         core::VerifyOptions opts;
         opts.jobs = jobs;
         opts.check_normalcy = normalcy;
-        opts.contract_dummies = contract;
+        opts.reduce = stg::reduce::Options::parse(reduce_spec);
         opts.check_deadlock = deadlock;
         opts.check_persistency = persistency;
         opts.search.use_learned_clauses = use_cache;
         Stopwatch timer;
-        auto report = core::verify_stg(model, opts);
+        // The cacheable path rides the shared semantic tier too: the reduced
+        // net's canonical hash can hit a verdict stored by stgd or by a
+        // structurally equivalent model file (docs/CACHING.md).
+        auto report = cacheable ? core::verify_stg_cached(model, opts, rcache)
+                                : core::verify_stg(model, opts);
         const std::string report_text = core::format_report(model, report);
         std::cout << report_text << "unfolding+IP time: " << timer.seconds()
                   << " s\n";
+        // Extras that need the checked (reduced, dummy-free) net read it
+        // from the report; witnesses and the deadlock trace were already
+        // translated back to `model`.
         const stg::Stg& checked =
-            report.contracted_stg ? *report.contracted_stg : model;
+            report.reduced_stg ? *report.reduced_stg : model;
         std::string deadlock_via;
         if (report.deadlock_checked && !report.deadlock_free) {
             deadlock_via =
-                "deadlock via: " + checked.sequence_text(report.deadlock_trace);
+                "deadlock via: " + model.sequence_text(report.deadlock_trace);
             std::cout << deadlock_via << "\n";
         }
 

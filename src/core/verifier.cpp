@@ -4,16 +4,49 @@
 
 #include "core/extended_checks.hpp"
 #include "core/persistency.hpp"
+#include "core/report_codec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "stg/contraction.hpp"
 
 namespace stgcc::core {
 
 namespace {
 void run_checks(VerificationReport& report, const VerifyOptions& opts,
                 sched::Executor& ex);
+
+/// Run the reduction pipeline on a shared-owned copy of the input and
+/// record the bookkeeping (reduced_stg / dummies_contracted / summary) in
+/// the report.  Every removed transition is a dummy, so the legacy
+/// `dummies contracted` count is the summary's transition total.
+stg::reduce::ReduceResult reduce_input(const stg::Stg& input,
+                                       const VerifyOptions& opts,
+                                       VerificationReport& report) {
+    stg::reduce::ReduceResult red;
+    const stg::reduce::Options ropts = opts.effective_reduce();
+    if (!ropts.enabled) return red;
+    red = stg::reduce::run_passes(std::make_shared<const stg::Stg>(input),
+                                  ropts);
+    report.reduction = red.summary;
+    report.dummies_contracted = red.summary.transitions_removed();
+    if (red.summary.any()) report.reduced_stg = *red.stg;
+    return red;
+}
+
 }  // namespace
+
+std::string persistency_note_text(
+    const stg::Stg& stg, const VerificationReport::PersistencyViolation& v) {
+    return "output " + stg.net().transition_name(v.output) + " disabled by " +
+           stg.net().transition_name(v.disabler) +
+           " via: " + stg.sequence_text(v.trace);
+}
+
+std::string semantic_entry_options(const VerifyOptions& opts) {
+    return std::string("stgcore/") + std::to_string(kReportCodecVersion) +
+           ";normalcy=" + (opts.check_normalcy ? "1" : "0") +
+           ";deadlock=" + (opts.check_deadlock ? "1" : "0") +
+           ";persistency=" + (opts.check_persistency ? "1" : "0");
+}
 
 VerificationReport verify_stg(const stg::Stg& input, VerifyOptions opts) {
     sched::Executor ex(opts.jobs);
@@ -25,31 +58,103 @@ VerificationReport verify_stg(const stg::Stg& input, VerifyOptions opts,
     obs::Span span("verify");
     span.attr("stg", input.name());
     VerificationReport report;
-    std::shared_ptr<const stg::Stg> contracted_owner;
-    if (opts.contract_dummies && input.has_dummies()) {
-        obs::Span phase("contract");
-        auto result = stg::contract_dummies(input);
-        report.dummies_contracted = result.contracted;
-        // The artifact bundle outlives this call inside the report, so the
-        // contracted STG it references must be shared-owned; the report
-        // additionally keeps its own copy for format_report and friends.
-        contracted_owner =
-            std::make_shared<const stg::Stg>(std::move(result.stg));
-        report.contracted_stg = *contracted_owner;
-        phase.attr("contracted", report.dummies_contracted);
-    }
+    stg::reduce::ReduceResult red = reduce_input(input, opts, report);
     // Tier-1 shared artifacts: the prefix, its consistency analysis, the
     // coding problem, condition masks and the learned-clause store are
     // computed exactly once here and shared by every checking phase (the
     // consistency analysis used to run twice -- once here and once inside
-    // the CodingProblem constructor).
+    // the CodingProblem constructor).  The bundle outlives this call inside
+    // the report, so the reduced STG it references is shared-owned.
     report.artifacts =
-        contracted_owner
-            ? std::make_shared<const cache::PrefixArtifacts>(contracted_owner,
+        red.stg
+            ? std::make_shared<const cache::PrefixArtifacts>(red.stg,
                                                              opts.unfold)
             : std::make_shared<const cache::PrefixArtifacts>(input, opts.unfold);
     run_checks(report, opts, ex);
+    translate_report(report, input, red.chain);
     return report;
+}
+
+VerificationReport verify_stg_cached(const stg::Stg& input, VerifyOptions opts,
+                                     const cache::ResultCache& rcache,
+                                     bool* semantic_hit) {
+    if (semantic_hit) *semantic_hit = false;
+    if (!rcache.enabled()) return verify_stg(input, std::move(opts));
+
+    obs::Span span("verify.cached");
+    span.attr("stg", input.name());
+    VerificationReport report;
+    stg::reduce::ReduceResult red = reduce_input(input, opts, report);
+    const stg::Stg& checked = red.stg ? *red.stg : input;
+    const std::uint64_t key = stg::reduce::semantic_hash(checked);
+    const std::string entry_opts = semantic_entry_options(opts);
+
+    if (auto payload = rcache.load("stgcore", key, entry_opts)) {
+        if (auto decoded = decode_report(*payload, checked)) {
+            obs::counter("cache.result.semantic_hits").add(1);
+            span.attr("semantic_hit", true);
+            if (semantic_hit) *semantic_hit = true;
+            decoded->jobs = opts.jobs;
+            decoded->reduction = report.reduction;
+            decoded->dummies_contracted = report.dummies_contracted;
+            decoded->reduced_stg = std::move(report.reduced_stg);
+            if (!red.chain.empty())
+                translate_report(*decoded, input, red.chain);
+            else if (decoded->persistency_violation)
+                decoded->persistency_note = persistency_note_text(
+                    input, *decoded->persistency_violation);
+            return *std::move(decoded);
+        }
+    }
+
+    sched::Executor ex(opts.jobs);
+    report.artifacts =
+        red.stg
+            ? std::make_shared<const cache::PrefixArtifacts>(red.stg,
+                                                             opts.unfold)
+            : std::make_shared<const cache::PrefixArtifacts>(input, opts.unfold);
+    run_checks(report, opts, ex);
+    rcache.store("stgcore", key, entry_opts, encode_report(report, checked));
+    translate_report(report, input, red.chain);
+    return report;
+}
+
+void translate_report(VerificationReport& r, const stg::Stg& input,
+                      const stg::reduce::WitnessChain& chain) {
+    if (chain.empty()) return;
+    const auto lift = [&](std::vector<petri::TransitionId>& trace,
+                          petri::Marking* m) {
+        auto translated = chain.translate(trace);
+        if (!translated)
+            throw ModelError(
+                "witness back-translation failed on '" + input.name() +
+                "' (reduction soundness bug; re-run with --no-reduce)");
+        trace = std::move(translated->trace);
+        if (m) *m = std::move(translated->marking);
+    };
+    const auto lift_conflict = [&](std::optional<stg::ConflictWitness>& w) {
+        if (!w) return;
+        lift(w->trace1, &w->m1);
+        lift(w->trace2, &w->m2);
+    };
+    lift_conflict(r.usc.witness);
+    lift_conflict(r.csc.witness);
+    for (stg::SignalNormalcy& sn : r.normalcy.per_signal) {
+        for (std::optional<stg::NormalcyWitness>* v :
+             {&sn.p_violation, &sn.n_violation}) {
+            if (!v->has_value()) continue;
+            lift((*v)->trace1, &(*v)->m1);
+            lift((*v)->trace2, &(*v)->m2);
+        }
+    }
+    if (r.deadlock_checked && !r.deadlock_free) lift(r.deadlock_trace, nullptr);
+    if (r.persistency_violation) {
+        auto& v = *r.persistency_violation;
+        v.output = chain.translate_transition(v.output);
+        v.disabler = chain.translate_transition(v.disabler);
+        lift(v.trace, nullptr);
+        r.persistency_note = persistency_note_text(input, v);
+    }
 }
 
 VerificationReport verify_artifacts(cache::PrefixArtifactsPtr artifacts,
@@ -120,10 +225,13 @@ void run_checks(VerificationReport& report, const VerifyOptions& opts,
         report.persistent = persistency.persistent;
         if (!persistency.persistent) {
             const auto& v = *persistency.violation;
+            report.persistency_violation =
+                VerificationReport::PersistencyViolation{v.output, v.disabler,
+                                                         v.trace};
+            // On the checked net; translate_report re-renders on the input
+            // when a reduction ran.
             report.persistency_note =
-                "output " + stg.net().transition_name(v.output) +
-                " disabled by " + stg.net().transition_name(v.disabler) +
-                " via: " + stg.sequence_text(v.trace);
+                persistency_note_text(stg, *report.persistency_violation);
         }
     }
 }
@@ -184,8 +292,28 @@ obs::Json stats_json(const stg::CheckStats& s) {
 
 }  // namespace
 
+obs::Json reduction_json(const stg::reduce::Summary& s) {
+    obs::Json passes = obs::Json::array();
+    for (const stg::reduce::PassStats& p : s.passes)
+        passes.push(obs::Json::object()
+                        .set("pass", p.pass)
+                        .set("applications", p.applications)
+                        .set("places_removed", p.places_removed)
+                        .set("transitions_removed", p.transitions_removed));
+    obs::Json remaining = obs::Json::array();
+    for (const std::string& d : s.remaining_dummies) remaining.push(d);
+    return obs::Json::object()
+        .set("rounds", s.rounds)
+        .set("places_removed", s.places_removed())
+        .set("transitions_removed", s.transitions_removed())
+        .set("remaining_dummies", std::move(remaining))
+        .set("passes", std::move(passes));
+}
+
 obs::Json report_json(const stg::Stg& input, const VerificationReport& r) {
-    const stg::Stg& stg = r.contracted_stg ? *r.contracted_stg : input;
+    // Witnesses (and therefore sizes too) are reported on the original
+    // input net; reduction work is accounted separately below.
+    const stg::Stg& stg = input;
     obs::Json model = obs::Json::object()
                           .set("name", stg.name())
                           .set("places", stg.net().num_places())
@@ -229,6 +357,7 @@ obs::Json report_json(const stg::Stg& input, const VerificationReport& r) {
     out.set("model", std::move(model));
     if (r.dummies_contracted > 0)
         out.set("dummies_contracted", r.dummies_contracted);
+    if (r.reduction.rounds > 0) out.set("reduction", reduction_json(r.reduction));
     out.set("prefix", std::move(prefix));
     out.set("results", std::move(results));
     out.set("stats", std::move(stats));
@@ -237,14 +366,25 @@ obs::Json report_json(const stg::Stg& input, const VerificationReport& r) {
 
 std::string format_report(const stg::Stg& input, const VerificationReport& r) {
     std::ostringstream out;
-    // Witness traces refer to the STG the checks ran on (post-contraction).
-    const stg::Stg& stg = r.contracted_stg ? *r.contracted_stg : input;
+    // Witness traces refer to the original input net: verify_stg (and
+    // stgd's render path) translate them back through the reduction
+    // witness chain before rendering.
+    const stg::Stg& stg = input;
     const petri::Net& net = stg.net();
     out << "STG '" << stg.name() << "': |S|=" << net.num_places()
         << " |T|=" << net.num_transitions() << " |Z|=" << stg.num_signals()
         << "\n";
     if (r.dummies_contracted > 0)
         out << "dummies contracted: " << r.dummies_contracted << "\n";
+    if (r.reduction.any()) {
+        out << "reduction: -" << r.reduction.transitions_removed() << "t -"
+            << r.reduction.places_removed() << "p (rounds="
+            << r.reduction.rounds;
+        for (const stg::reduce::PassStats& p : r.reduction.passes)
+            if (p.applications > 0)
+                out << "; " << p.pass << " x" << p.applications;
+        out << ")\n";
+    }
     out << "prefix: |B|=" << r.prefix.conditions << " |E|=" << r.prefix.events
         << " |E_cut|=" << r.prefix.cutoffs << "\n";
     if (!r.consistent) {

@@ -8,8 +8,10 @@
 
 #include <string>
 
+#include "cache/result_cache.hpp"
 #include "core/checkers.hpp"
 #include "obs/json.hpp"
+#include "stg/reduce/reduce.hpp"
 
 namespace stgcc::core {
 
@@ -22,14 +24,27 @@ struct VerifyOptions {
     /// concurrency.  Verdicts and witnesses are identical at any value.
     unsigned jobs = 1;
     bool check_normalcy = true;
-    /// Securely contract dummy transitions before checking (the checkers
-    /// themselves require dummy-free STGs).  Dummies that resist secure
-    /// contraction still cause a ModelError.
+    /// Verdict-preserving net reductions run before unfolding
+    /// (docs/REDUCTIONS.md).  All witnesses in the returned report are
+    /// translated back to the *original* input net.  Dummies that resist
+    /// secure contraction still cause a ModelError (the checkers require
+    /// dummy-free STGs).
+    stg::reduce::Options reduce;
+    /// Legacy alias: when `reduce` is disabled and this is set, the
+    /// contract pass alone runs (the pre-pass-manager behaviour).
     bool contract_dummies = false;
     /// Also run the section 5 deadlock check.
     bool check_deadlock = false;
     /// Also check output persistency (speed-independence precondition).
     bool check_persistency = false;
+
+    /// The reduction options that actually apply (`reduce`, or the
+    /// contract-only pipeline via the legacy alias).
+    [[nodiscard]] stg::reduce::Options effective_reduce() const {
+        if (reduce.enabled) return reduce;
+        if (contract_dummies) return stg::reduce::Options::parse("contract");
+        return {};
+    }
 };
 
 struct PrefixStats {
@@ -56,15 +71,31 @@ struct VerificationReport {
     stg::NormalcyResult normalcy;
     bool normalcy_checked = false;
     std::size_t dummies_contracted = 0;
-    /// When dummies were contracted, the STG the checks actually ran on;
-    /// all witness traces and transition ids in this report refer to it.
-    std::optional<stg::Stg> contracted_stg;
+    /// Per-pass accounting of the reduction pipeline (empty when it did not
+    /// run or changed nothing).
+    stg::reduce::Summary reduction;
+    /// When reduction changed the net, the STG the checks actually ran on.
+    /// Witness traces in this report are nevertheless expressed on the
+    /// *original* input net: verify_stg translates them back through the
+    /// composed witness chain before returning (stgd does the same via
+    /// translate_report).  Consumers that need the dummy-free checked net
+    /// itself -- synthesis, the state-graph baseline -- read this field.
+    std::optional<stg::Stg> reduced_stg;
     bool deadlock_checked = false;
     bool deadlock_free = true;
-    std::vector<petri::TransitionId> deadlock_trace;  ///< w.r.t. checked STG
+    std::vector<petri::TransitionId> deadlock_trace;
     bool persistency_checked = false;
     bool persistent = true;
     std::string persistency_note;  ///< which output / disabler, when violated
+    /// Structured form of the persistency violation (ids w.r.t. the same
+    /// net as every other witness), so the note can be re-rendered after
+    /// witness translation.
+    struct PersistencyViolation {
+        petri::TransitionId output = petri::kNoTransition;
+        petri::TransitionId disabler = petri::kNoTransition;
+        std::vector<petri::TransitionId> trace;
+    };
+    std::optional<PersistencyViolation> persistency_violation;
     /// Learned-clause funnel of this run's ClauseStore (tier-2 cache):
     /// cuts recorded by exhaustive subtree proofs, replays by sibling
     /// solver instances, and the search nodes those replays skipped.
@@ -87,17 +118,59 @@ struct VerificationReport {
                                             sched::Executor& ex);
 
 /// Run the checking phases on an already built artifact bundle, skipping
-/// contraction and unfolding entirely (VerifyOptions::contract_dummies and
-/// ::unfold are ignored -- they were decided when the bundle was built).
-/// This is the resident-service fast path (docs/SERVICE.md): `stgd` keeps
-/// recent bundles in memory and re-checks a model under different options
-/// without paying parse or unfold again.  The caller is responsible for
-/// contraction bookkeeping (report.contracted_stg / dummies_contracted are
-/// left unset).  Verdicts and witnesses are identical to a fresh
-/// verify_stg of the same (possibly contracted) STG.
+/// reduction and unfolding entirely (VerifyOptions::reduce /
+/// ::contract_dummies and ::unfold are ignored -- they were decided when
+/// the bundle was built).  This is the resident-service fast path
+/// (docs/SERVICE.md): `stgd` keeps recent bundles in memory and re-checks
+/// a model under different options without paying parse or unfold again.
+/// The caller owns the reduction bookkeeping (report.reduced_stg /
+/// reduction / dummies_contracted are left unset) and must call
+/// translate_report itself when the bundle was built from a reduced net.
+/// Verdicts and witnesses are identical to a fresh verify_stg of the same
+/// (possibly reduced) STG.
 [[nodiscard]] VerificationReport verify_artifacts(
     cache::PrefixArtifactsPtr artifacts, VerifyOptions opts,
     sched::Executor& ex);
+
+/// Rewrite every witness in `report` -- conflict/normalcy traces and
+/// markings, the deadlock trace, the persistency violation and its note --
+/// from the reduced net the checks ran on back to `input`, via the
+/// composed witness chain of the reduction that produced that net.  No-op
+/// on an empty chain.  Throws ModelError if a trace fails to replay on
+/// `input` (a reduction soundness bug).
+void translate_report(VerificationReport& report, const stg::Stg& input,
+                      const stg::reduce::WitnessChain& chain);
+
+/// verify_stg plus the shared semantic result-cache tier ("stgcore",
+/// docs/CACHING.md): the input is reduced first and the *reduced* net's
+/// canonical hash keys a stored pre-translation report, so structurally
+/// equivalent inputs -- reordered source text, nets differing only by
+/// reducible structure -- share warm verdict entries even though their
+/// content hashes differ.  On a hit the stored report is decoded against
+/// this input's own reduced net and translated through this input's own
+/// witness chain, so rendering is always faithful to the caller's net.
+/// `semantic_hit` (optional) reports whether the verdict came from the
+/// cache; report.artifacts is null in that case.
+[[nodiscard]] VerificationReport verify_stg_cached(
+    const stg::Stg& input, VerifyOptions opts,
+    const cache::ResultCache& rcache, bool* semantic_hit = nullptr);
+
+/// Options fragment of a semantic ("stgcore") cache entry: only the flags
+/// that change what the checks compute -- the reduce spec is deliberately
+/// absent, because the entry is keyed by the reduced net itself.  One
+/// spelling shared by verify_stg_cached and stgd.
+[[nodiscard]] std::string semantic_entry_options(const VerifyOptions& opts);
+
+/// Machine-readable per-pass reduction accounting (rounds, removals,
+/// remaining dummy names, per-pass counts).  One schema shared by
+/// `stgcheck --json` ("reduction" key), stgd's report rows and the
+/// stgbatch aggregate.
+[[nodiscard]] obs::Json reduction_json(const stg::reduce::Summary& s);
+
+/// Render the "output X disabled by Y via: ..." persistency note on `stg`
+/// (which must be the net the violation's ids refer to).
+[[nodiscard]] std::string persistency_note_text(
+    const stg::Stg& stg, const VerificationReport::PersistencyViolation& v);
 
 /// Multi-line human-readable report (used by the examples and the CLI).
 [[nodiscard]] std::string format_report(const stg::Stg& stg,

@@ -117,6 +117,10 @@ constexpr const char* kBuiltinCounters[] = {
     "cache.result.hits",      "cache.result.misses",
     "cache.result.stores",    "cache.result.evicted",
     "sched.workspace_reuse",
+    // Reduction pass manager (docs/REDUCTIONS.md).
+    "stg.reduce.runs",        "stg.reduce.places_removed",
+    "stg.reduce.transitions_removed",
+    "cache.result.semantic_hits",
 };
 constexpr const char* kBuiltinGauges[] = {
     "unfold.pe_queue_peak", "unfold.co_pairs", "sg.hash_load_permille",

@@ -147,14 +147,20 @@ bool is_contractable(const Stg& stg, petri::TransitionId t) {
     return contractable(to_work_net(stg), t);
 }
 
-ContractionResult contract_dummies(const Stg& input) {
+ContractionResult contract_dummies(const Stg& input, bool series_only) {
     WorkNet w = to_work_net(input);
     ContractionResult result;
+    const auto eligible = [&](std::size_t t) {
+        if (series_only && (w.transitions[t].pre.size() != 1 ||
+                            w.transitions[t].post.size() != 1))
+            return false;
+        return contractable(w, t);
+    };
     bool progress = true;
     while (progress) {
         progress = false;
         for (std::size_t t = 0; t < w.transitions.size(); ++t) {
-            if (contractable(w, t)) {
+            if (eligible(t)) {
                 contract(w, t);
                 ++result.contracted;
                 progress = true;

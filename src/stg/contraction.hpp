@@ -34,6 +34,12 @@ struct ContractionResult {
 /// labelled transitions and the model name are preserved; places are
 /// renamed where merged.  The result may still contain dummies (see
 /// remaining_dummies) when no secure rule applies to them.
-[[nodiscard]] ContractionResult contract_dummies(const Stg& input);
+///
+/// `series_only` restricts the rule to dummies with exactly one preset and
+/// one postset place (series agglomeration, the reduce-pass special case):
+/// same security conditions, same "(p*q)" product naming, so composing the
+/// restricted and general rules converges to the same net.
+[[nodiscard]] ContractionResult contract_dummies(const Stg& input,
+                                                 bool series_only = false);
 
 }  // namespace stgcc::stg

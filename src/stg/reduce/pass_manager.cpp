@@ -1,0 +1,135 @@
+#include <algorithm>
+#include <sstream>
+
+#include "cache/result_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "stg/reduce/reduce.hpp"
+
+namespace stgcc::stg::reduce {
+
+std::size_t Summary::places_removed() const {
+    std::size_t n = 0;
+    for (const PassStats& p : passes) n += p.places_removed;
+    return n;
+}
+
+std::size_t Summary::transitions_removed() const {
+    std::size_t n = 0;
+    for (const PassStats& p : passes) n += p.transitions_removed;
+    return n;
+}
+
+ReduceResult run_passes(std::shared_ptr<const Stg> input,
+                        const Options& opts) {
+    STGCC_REQUIRE(input != nullptr);
+    ReduceResult result;
+    result.stg = input;
+    if (!opts.enabled) return result;
+
+    obs::Span span("reduce");
+    span.attr("stg", input->name());
+    const std::vector<std::string>& names =
+        opts.passes.empty() ? known_passes() : opts.passes;
+    std::vector<const ReductionPass*> passes;
+    for (const std::string& name : names) {
+        const ReductionPass* pass = find_pass(name);
+        if (pass == nullptr)
+            throw ModelError("unknown reduction pass '" + name + "'");
+        passes.push_back(pass);
+        result.summary.passes.push_back(PassStats{name, 0, 0, 0});
+    }
+
+    // Fixed point over rounds: each round applies every pass once (each
+    // pass runs its own rule to a local fixed point); stop when a full
+    // round changes nothing.  Rounds matter because passes enable one
+    // another -- removing a const self-loop place can make a dummy
+    // contractable that was not before.
+    std::shared_ptr<const Stg> current = std::move(input);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++result.summary.rounds;
+        for (std::size_t i = 0; i < passes.size(); ++i) {
+            obs::Span pass_span("reduce.pass");
+            pass_span.attr("pass", passes[i]->name());
+            PassResult r = passes[i]->apply(current);
+            pass_span.attr("applications", r.applications);
+            if (!r.changed) continue;
+            changed = true;
+            PassStats& stats = result.summary.passes[i];
+            stats.applications += r.applications;
+            stats.places_removed += r.places_removed;
+            stats.transitions_removed += r.transitions_removed;
+            current = std::make_shared<const Stg>(std::move(r.stg));
+            result.chain.push(std::move(r.map));
+        }
+    }
+
+    const petri::Net& net = current->net();
+    for (petri::TransitionId t = 0; t < net.num_transitions(); ++t)
+        if (current->is_dummy(t))
+            result.summary.remaining_dummies.push_back(net.transition_name(t));
+
+    obs::counter("stg.reduce.runs").add(1);
+    obs::counter("stg.reduce.places_removed")
+        .add(result.summary.places_removed());
+    obs::counter("stg.reduce.transitions_removed")
+        .add(result.summary.transitions_removed());
+    span.attr("rounds", result.summary.rounds);
+    span.attr("places_removed", result.summary.places_removed());
+    span.attr("transitions_removed", result.summary.transitions_removed());
+    result.stg = std::move(current);
+    return result;
+}
+
+std::string canonical_text(const Stg& stg) {
+    // Deterministic, name-complete rendering: section per element kind,
+    // arc lists sorted by endpoint name.  Element *order* in the file does
+    // not matter to structural identity, so names are sorted too -- two
+    // nets built in different insertion orders canonicalize identically.
+    const petri::Net& net = stg.net();
+    std::ostringstream out;
+    out << "stgcanon/1\n";
+
+    // Signal *order* is significant (codes and Out sets index by SignalId),
+    // so signal lines are not sorted; place/transition order is not -- the
+    // report codec addresses those by name.
+    out << "signals " << stg.num_signals() << "\n";
+    for (SignalId z = 0; z < stg.num_signals(); ++z)
+        out << stg.signal_name(z) << " "
+            << std::to_string(static_cast<int>(stg.signal_kind(z))) << "\n";
+
+    std::vector<std::string> lines;
+    for (petri::PlaceId p = 0; p < net.num_places(); ++p)
+        lines.push_back(net.place_name(p) + " " +
+                        std::to_string(stg.system().initial_marking()[p]));
+    std::sort(lines.begin(), lines.end());
+    out << "places " << lines.size() << "\n";
+    for (const std::string& l : lines) out << l << "\n";
+
+    lines.clear();
+    for (petri::TransitionId t = 0; t < net.num_transitions(); ++t) {
+        std::string line = net.transition_name(t) + " " + stg.label_text(t);
+        std::vector<std::string> pre, post;
+        for (petri::PlaceId p : net.pre(t)) pre.push_back(net.place_name(p));
+        for (petri::PlaceId p : net.post(t)) post.push_back(net.place_name(p));
+        std::sort(pre.begin(), pre.end());
+        std::sort(post.begin(), post.end());
+        line += " <-";
+        for (const std::string& p : pre) line += " " + p;
+        line += " ->";
+        for (const std::string& p : post) line += " " + p;
+        lines.push_back(std::move(line));
+    }
+    std::sort(lines.begin(), lines.end());
+    out << "transitions " << lines.size() << "\n";
+    for (const std::string& l : lines) out << l << "\n";
+    return out.str();
+}
+
+std::uint64_t semantic_hash(const Stg& stg) {
+    return cache::fnv1a64(canonical_text(stg));
+}
+
+}  // namespace stgcc::stg::reduce

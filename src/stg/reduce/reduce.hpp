@@ -1,0 +1,223 @@
+// stgcc -- verdict-preserving net reductions with witness back-translation.
+//
+// Shrinking the STG before unfolding multiplies every downstream win: the
+// IP method pays for each condition/event the unfolder emits, so removing
+// redundant places and agglomerating silent transitions cuts the prefix the
+// solver searches (PAPERS.md, Amat/Dal Zilio/Le Botlan, "Leveraging
+// polyhedral reductions").  Each `ReductionPass` maps an input STG to a
+// smaller STG together with a `WitnessMap` recording how to translate
+// traces and markings of the reduced net back to the input net; the
+// `PassManager` iterates the enabled passes to a fixed point and composes
+// the maps into a `WitnessChain`, so every witness the checkers produce on
+// the reduced net is rendered on the **original** input.
+//
+// Pass catalogue (docs/REDUCTIONS.md has the soundness arguments):
+//   contract     -- type-1-secure dummy contraction (src/stg/contraction.*)
+//   series       -- series agglomeration: the |*t|=|t*|=1 special case of
+//                   contraction (same security conditions, same "(p*q)"
+//                   product naming, so pass compositions converge)
+//   dup-place    -- remove a place whose preset, postset and initial
+//                   marking all equal another place's (M(p) == M(q) in every
+//                   reachable marking: removal can neither merge distinct
+//                   markings nor change enabling)
+//   const-place  -- remove a marked pure-self-loop place (every adjacent
+//                   transition consumes and produces it, M0 >= 1: its
+//                   marking is constant, it never disables and never
+//                   distinguishes markings)
+//
+// The canonical text / semantic hash of the reduced net keys the shared
+// result-cache tier ("stgcore", docs/CACHING.md): structurally equivalent
+// inputs reduce to the same net and share warm verdict entries even when
+// their source bytes hash differently.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stg/stg.hpp"
+
+namespace stgcc::stg::reduce {
+
+// --- options ---------------------------------------------------------------
+
+/// Which passes run, in which order.  Parsed from the `--reduce[=list]`
+/// CLI spec / the protocol `reduce` field; `spec()` renders the canonical
+/// spelling used in cache-key signatures.
+struct Options {
+    bool enabled = false;
+    /// Pass names in run order; empty + enabled means the default list.
+    std::vector<std::string> passes;
+
+    /// Default pipeline: contract, series, dup-place, const-place.
+    /// (contract runs first so the general rule fixes the product-place
+    /// names; series is then a no-op on the same dummies, which keeps
+    /// `all` and `contract` convergent on dummy-only models.)
+    [[nodiscard]] static Options all();
+    [[nodiscard]] static Options none() { return {}; }
+
+    /// Parse a spec: "none"/"off" (disabled), "all"/"on"/"" (default list),
+    /// or a comma-separated pass-name list.  Throws ModelError on an
+    /// unknown pass name.
+    [[nodiscard]] static Options parse(std::string_view spec);
+
+    /// Canonical spec string ("none" or the comma-joined pass list) -- the
+    /// spelling embedded in options signatures and cache keys.
+    [[nodiscard]] std::string spec() const;
+
+    [[nodiscard]] bool operator==(const Options& o) const {
+        return enabled == o.enabled && passes == o.passes;
+    }
+};
+
+/// All pass names `Options::parse` accepts, in default run order.
+[[nodiscard]] const std::vector<std::string>& known_passes();
+
+// --- witness back-translation ----------------------------------------------
+
+/// A trace of the map's input net together with the (tau-closed) marking it
+/// reaches -- the result of translating a reduced-net trace one level up.
+struct TranslatedState {
+    std::vector<petri::TransitionId> trace;
+    petri::Marking marking;
+};
+
+/// Records how one pass's output net translates back to its input net.
+///
+/// Transitions surviving a pass keep their names, so the map stores the
+/// output-id -> input-id table plus the set of *removed* input transitions
+/// (always silent: only dummy transitions are ever removed).  Translation
+/// is by guided replay on the input net: fire the mapped transition when it
+/// is enabled, otherwise fire the lowest-id enabled removed dummy first --
+/// type-1 security guarantees a removed dummy's preset tokens are wanted by
+/// nobody else, so greedy firing can never steal an enablement.  The replay
+/// reconstructs the input-net marking for free, and a final tau-closure
+/// advances it past any still-enabled removed dummies so the rendered
+/// marking is the canonical representative of the reduced marking's class.
+class WitnessMap {
+public:
+    WitnessMap() = default;
+    WitnessMap(std::shared_ptr<const Stg> input,
+               std::vector<petri::TransitionId> to_input,
+               std::vector<petri::TransitionId> removed_silent);
+
+    /// Translate a reduced-net trace to an input-net trace + marking.
+    /// nullopt only if replay fails (a soundness bug; callers treat it as
+    /// fatal) or a pathological dummy cycle exceeds the iteration bound.
+    [[nodiscard]] std::optional<TranslatedState> translate(
+        const std::vector<petri::TransitionId>& trace) const;
+
+    /// Input-net id of a surviving reduced-net transition.
+    [[nodiscard]] petri::TransitionId translate_transition(
+        petri::TransitionId reduced) const;
+
+    [[nodiscard]] const Stg& input() const { return *input_; }
+    [[nodiscard]] bool identity() const {
+        return removed_.empty() && identity_transitions_;
+    }
+
+private:
+    std::shared_ptr<const Stg> input_;
+    std::vector<petri::TransitionId> to_input_;  // indexed by output tid
+    std::vector<petri::TransitionId> removed_;   // input tids, all silent
+    bool identity_transitions_ = true;
+};
+
+/// Composition of per-pass maps, applied in reverse pass order: a trace on
+/// the final reduced net is lifted one pass at a time back to the original
+/// input.  An empty chain is the identity.
+class WitnessChain {
+public:
+    void push(WitnessMap map) { maps_.push_back(std::move(map)); }
+    [[nodiscard]] bool empty() const { return maps_.empty(); }
+
+    /// True when no map in the chain removed a transition or renumbered
+    /// one -- traces need no rewriting (markings still do, via translate).
+    [[nodiscard]] bool trace_identity() const;
+
+    [[nodiscard]] std::optional<TranslatedState> translate(
+        const std::vector<petri::TransitionId>& trace) const;
+
+    [[nodiscard]] petri::TransitionId translate_transition(
+        petri::TransitionId reduced) const;
+
+private:
+    std::vector<WitnessMap> maps_;  // maps_[0] translates into the original
+};
+
+// --- passes and the manager ------------------------------------------------
+
+/// Work done by one pass across all manager rounds.
+struct PassStats {
+    std::string pass;
+    std::size_t applications = 0;        ///< individual rule firings
+    std::size_t places_removed = 0;      ///< net of products created
+    std::size_t transitions_removed = 0;
+};
+
+/// Aggregate outcome of a PassManager run.
+struct Summary {
+    std::vector<PassStats> passes;  ///< one entry per enabled pass, run order
+    std::size_t rounds = 0;         ///< fixed-point iterations (>= 1 when run)
+    std::vector<std::string> remaining_dummies;  ///< dummies still present
+
+    [[nodiscard]] std::size_t places_removed() const;
+    [[nodiscard]] std::size_t transitions_removed() const;
+    [[nodiscard]] bool any() const {
+        return places_removed() + transitions_removed() > 0;
+    }
+};
+
+/// One application of a reduction pass.
+struct PassResult {
+    bool changed = false;
+    Stg stg;                 ///< valid only when changed
+    WitnessMap map;          ///< valid only when changed
+    std::size_t applications = 0;
+    std::size_t places_removed = 0;
+    std::size_t transitions_removed = 0;
+};
+
+/// A named verdict-preserving reduction rule.  `apply` runs the rule to its
+/// own fixed point on `input` (shared-owned so the WitnessMap can keep it
+/// alive for replay).
+class ReductionPass {
+public:
+    virtual ~ReductionPass() = default;
+    [[nodiscard]] virtual std::string_view name() const = 0;
+    [[nodiscard]] virtual PassResult apply(
+        std::shared_ptr<const Stg> input) const = 0;
+};
+
+/// Look up a pass by name (nullptr when unknown).  The returned object is a
+/// process-lifetime singleton.
+[[nodiscard]] const ReductionPass* find_pass(std::string_view name);
+
+/// Everything the caller needs after reduction: the net the checks run on,
+/// the composed back-translation, and the per-pass accounting.
+struct ReduceResult {
+    std::shared_ptr<const Stg> stg;  ///< reduced net (== input when no-op)
+    WitnessChain chain;
+    Summary summary;
+};
+
+/// Run the enabled passes to a fixed point (each round applies every pass
+/// once, in order; stop when a full round changes nothing).  Disabled
+/// options return the input unchanged with an empty chain.
+[[nodiscard]] ReduceResult run_passes(std::shared_ptr<const Stg> input,
+                                      const Options& opts);
+
+// --- semantic identity -----------------------------------------------------
+
+/// Deterministic canonical text of an STG (signals, places with markings,
+/// transitions with labels, sorted arc lists) -- two STGs with equal
+/// canonical text are structurally identical, names included.
+[[nodiscard]] std::string canonical_text(const Stg& stg);
+
+/// FNV-1a hash of canonical_text: the reduced-net key of the shared
+/// "stgcore" result-cache tier (docs/CACHING.md).
+[[nodiscard]] std::uint64_t semantic_hash(const Stg& stg);
+
+}  // namespace stgcc::stg::reduce

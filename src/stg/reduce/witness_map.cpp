@@ -1,0 +1,94 @@
+#include "stg/reduce/reduce.hpp"
+
+#include <algorithm>
+
+namespace stgcc::stg::reduce {
+
+WitnessMap::WitnessMap(std::shared_ptr<const Stg> input,
+                       std::vector<petri::TransitionId> to_input,
+                       std::vector<petri::TransitionId> removed_silent)
+    : input_(std::move(input)),
+      to_input_(std::move(to_input)),
+      removed_(std::move(removed_silent)) {
+    STGCC_REQUIRE(input_ != nullptr);
+    std::sort(removed_.begin(), removed_.end());
+    for (petri::TransitionId t : removed_) STGCC_REQUIRE(input_->is_dummy(t));
+    for (std::size_t i = 0; i < to_input_.size(); ++i)
+        if (to_input_[i] != static_cast<petri::TransitionId>(i))
+            identity_transitions_ = false;
+}
+
+petri::TransitionId WitnessMap::translate_transition(
+    petri::TransitionId reduced) const {
+    STGCC_REQUIRE(reduced < to_input_.size());
+    return to_input_[reduced];
+}
+
+std::optional<TranslatedState> WitnessMap::translate(
+    const std::vector<petri::TransitionId>& trace) const {
+    const petri::NetSystem& sys = input_->system();
+    TranslatedState out;
+    out.marking = sys.initial_marking();
+    out.trace.reserve(trace.size());
+    // Iteration bound against pathological removed-dummy cycles: secure
+    // contraction cannot remove a token-generating loop, so any correct
+    // replay fires each removed dummy a bounded number of times between
+    // visible steps.  Exceeding the bound means a soundness bug upstream.
+    const std::size_t bound = 64 * (removed_.size() + 1) + trace.size();
+    std::size_t silent_fired = 0;
+    const auto fire_first_enabled_removed = [&]() -> bool {
+        for (petri::TransitionId d : removed_) {
+            if (sys.enabled(out.marking, d)) {
+                out.marking = sys.fire(out.marking, d);
+                out.trace.push_back(d);
+                return true;
+            }
+        }
+        return false;
+    };
+    for (petri::TransitionId rt : trace) {
+        if (rt >= to_input_.size()) return std::nullopt;
+        const petri::TransitionId it = to_input_[rt];
+        while (!sys.enabled(out.marking, it)) {
+            if (++silent_fired > bound) return std::nullopt;
+            if (!fire_first_enabled_removed()) return std::nullopt;
+        }
+        out.marking = sys.fire(out.marking, it);
+        out.trace.push_back(it);
+    }
+    // Tau-closure: advance past still-enabled removed dummies so the final
+    // marking is the canonical representative of its silent-move class
+    // (type-1 security: firing a removed dummy never disables anything).
+    while (fire_first_enabled_removed())
+        if (++silent_fired > bound) return std::nullopt;
+    return out;
+}
+
+bool WitnessChain::trace_identity() const {
+    return std::all_of(maps_.begin(), maps_.end(),
+                       [](const WitnessMap& m) { return m.identity(); });
+}
+
+std::optional<TranslatedState> WitnessChain::translate(
+    const std::vector<petri::TransitionId>& trace) const {
+    STGCC_REQUIRE(!maps_.empty());
+    // Lift one pass at a time, innermost (last-applied) first.
+    std::optional<TranslatedState> state;
+    const std::vector<petri::TransitionId>* current = &trace;
+    for (auto it = maps_.rbegin(); it != maps_.rend(); ++it) {
+        state = it->translate(*current);
+        if (!state) return std::nullopt;
+        current = &state->trace;
+    }
+    return state;
+}
+
+petri::TransitionId WitnessChain::translate_transition(
+    petri::TransitionId reduced) const {
+    petri::TransitionId t = reduced;
+    for (auto it = maps_.rbegin(); it != maps_.rend(); ++it)
+        t = it->translate_transition(t);
+    return t;
+}
+
+}  // namespace stgcc::stg::reduce

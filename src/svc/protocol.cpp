@@ -1,11 +1,14 @@
 #include "svc/protocol.hpp"
 
+#include "stg/reduce/reduce.hpp"
+
 namespace stgcc::svc {
 
 obs::Json CheckOptions::to_json() const {
     return obs::Json::object()
         .set("normalcy", normalcy)
-        .set("contract", contract)
+        .set("reduce", reduce)
+        .set("contract", reduce != "none")  // legacy mirror
         .set("deadlock", deadlock)
         .set("persistency", persistency)
         .set("use_cache", use_cache);
@@ -19,7 +22,10 @@ CheckOptions CheckOptions::from_json(const obs::Json* j) {
         return v ? v->as_bool() : fallback;
     };
     opts.normalcy = flag("normalcy", opts.normalcy);
-    opts.contract = flag("contract", opts.contract);
+    if (const obs::Json* r = j->find("reduce"))
+        opts.reduce = r->as_string();
+    else if (flag("contract", false))
+        opts.reduce = "contract";  // legacy request spelling
     opts.deadlock = flag("deadlock", opts.deadlock);
     opts.persistency = flag("persistency", opts.persistency);
     opts.use_cache = flag("use_cache", opts.use_cache);
@@ -27,9 +33,15 @@ CheckOptions CheckOptions::from_json(const obs::Json* j) {
 }
 
 std::string CheckOptions::signature() const {
-    return std::string("normalcy=") + (normalcy ? "1" : "0") +
-           ";contract=" + (contract ? "1" : "0") +
-           ";deadlock=" + (deadlock ? "1" : "0") +
+    std::string spec = reduce;
+    try {
+        spec = stg::reduce::Options::parse(reduce).spec();
+    } catch (const ModelError&) {
+        // Unparsable spec: keep the raw string; the request errors out
+        // before any cache interaction, so the key never materializes.
+    }
+    return std::string("v2;normalcy=") + (normalcy ? "1" : "0") +
+           ";reduce=" + spec + ";deadlock=" + (deadlock ? "1" : "0") +
            ";persistency=" + (persistency ? "1" : "0");
 }
 

@@ -40,7 +40,11 @@ inline constexpr std::int64_t kProtocolVersion = 1;
 /// that discriminates cached verdicts (docs/CACHING.md).
 struct CheckOptions {
     bool normalcy = true;
-    bool contract = false;
+    /// Reduction-pipeline spec (docs/REDUCTIONS.md): "none", "all", or a
+    /// comma-separated pass list.  Supersedes the legacy boolean `contract`
+    /// member, which from_json still accepts ("contract": true maps to
+    /// "contract") and to_json still emits for old readers.
+    std::string reduce = "none";
     bool deadlock = false;
     bool persistency = false;
     bool use_cache = true;  ///< learned clauses + result cache for this request
@@ -48,7 +52,14 @@ struct CheckOptions {
     [[nodiscard]] obs::Json to_json() const;
     [[nodiscard]] static CheckOptions from_json(const obs::Json* j);
 
-    /// Options fragment of the result-cache key ("normalcy=1;contract=0;...").
+    /// Options fragment of the result-cache key
+    /// ("v2;normalcy=1;reduce=none;...").  This is THE one signature
+    /// spelling: stgcheck's offline path, stgbatch and the daemon all embed
+    /// exactly this string in their cache keys, so a verdict cached by one
+    /// is warm for the others (svc_test pins the agreement).  The reduce
+    /// spec is canonicalized (pass-list order and aliases normalized) when
+    /// it parses; an unparsable spec is embedded verbatim -- such requests
+    /// fail before any cache store, so no entry is ever keyed by it.
     [[nodiscard]] std::string signature() const;
 };
 

@@ -10,12 +10,13 @@
 
 #include <cstdio>
 
+#include "core/report_codec.hpp"
 #include "core/verifier.hpp"
 #include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "stg/astg.hpp"
-#include "stg/contraction.hpp"
+#include "stg/reduce/reduce.hpp"
 
 namespace stgcc::svc {
 
@@ -559,6 +560,16 @@ Server::Outcome Server::run_check(const std::string& model_text,
     Outcome out;
     const std::uint64_t hash = cache::fnv1a64(model_text);
     out.model_hash = hash;
+    // Reject an unparsable reduce spec before any cache interaction, so no
+    // rendered entry is ever keyed by a raw (non-canonical) signature.
+    stg::reduce::Options ropts;
+    try {
+        ropts = stg::reduce::Options::parse(copts.reduce);
+    } catch (const std::exception& e) {
+        out.error_code = "model_error";
+        out.error_message = e.what();
+        return out;
+    }
     const std::string sig = copts.signature();
     const std::string key = std::to_string(hash) + '|' + sig;
     if (copts.use_cache) {
@@ -599,24 +610,55 @@ Server::Outcome Server::run_check(const std::string& model_text,
         return out;
     }
     try {
-        const auto bundle = get_bundle(model_text, hash, copts.contract);
+        const auto bundle = get_bundle(model_text, hash, ropts);
         core::VerifyOptions vopts;
         vopts.check_normalcy = copts.normalcy;
         vopts.check_deadlock = copts.deadlock;
         vopts.check_persistency = copts.persistency;
         vopts.search.use_learned_clauses = copts.use_cache;
         vopts.search.cancel = deadline;
-        auto report = core::verify_artifacts(bundle->artifacts, vopts, ex_);
-        if (deadline.cancelled()) {
-            // A cancelled solve stops early with indeterminate verdicts;
-            // discard rather than serve a partial result.
-            out.error_code = "deadline_exceeded";
-            out.error_message = kDeadlineVerify;
-            return out;
+        // Semantic tier ("stgcore", docs/CACHING.md): the reduced net's
+        // canonical hash keys a pre-translation report shared with
+        // stgcheck's offline path and with any model text reducing to the
+        // same net.  The stored report is decoded against this bundle's own
+        // checked net, then translated through this bundle's own chain.
+        const std::string entry_opts = core::semantic_entry_options(vopts);
+        core::VerificationReport report;
+        bool semantic = false;
+        if (copts.use_cache) {
+            if (const auto payload =
+                    rcache_.load("stgcore", bundle->semantic_key, entry_opts)) {
+                if (auto decoded =
+                        core::decode_report(*payload, *bundle->checked)) {
+                    obs::counter("cache.result.semantic_hits").add();
+                    report = *std::move(decoded);
+                    report.jobs = ex_.jobs();
+                    semantic = true;
+                    out.cache_tier = "semantic";
+                }
+            }
         }
-        report.dummies_contracted = bundle->dummies_contracted;
-        if (bundle->checked != bundle->model)
-            report.contracted_stg = *bundle->checked;
+        if (!semantic) {
+            report = core::verify_artifacts(bundle->artifacts, vopts, ex_);
+            if (deadline.cancelled()) {
+                // A cancelled solve stops early with indeterminate verdicts;
+                // discard rather than serve a partial result.
+                out.error_code = "deadline_exceeded";
+                out.error_message = kDeadlineVerify;
+                return out;
+            }
+            if (copts.use_cache)
+                rcache_.store("stgcore", bundle->semantic_key, entry_opts,
+                              core::encode_report(report, *bundle->checked));
+        }
+        report.dummies_contracted = bundle->reduction.transitions_removed();
+        report.reduction = bundle->reduction;
+        if (bundle->reduction.any()) report.reduced_stg = *bundle->checked;
+        if (!bundle->chain.empty())
+            core::translate_report(report, *bundle->model, bundle->chain);
+        else if (semantic && report.persistency_violation)
+            report.persistency_note = core::persistency_note_text(
+                *bundle->model, *report.persistency_violation);
         out.r = render(*bundle, report);
         out.ok = true;
         checks_run_.fetch_add(1, std::memory_order_relaxed);
@@ -641,11 +683,13 @@ Server::Outcome Server::run_check(const std::string& model_text,
 }
 
 std::shared_ptr<Server::Bundle> Server::get_bundle(
-    const std::string& model_text, std::uint64_t hash, bool contract) {
+    const std::string& model_text, std::uint64_t hash,
+    const stg::reduce::Options& reduce) {
+    const std::string spec = reduce.spec();
     {
         std::lock_guard<std::mutex> lock(bundles_mu_);
         for (const auto& b : bundles_) {
-            if (b->hash == hash && b->contract == contract) {
+            if (b->hash == hash && b->reduce_spec == spec) {
                 b->last_used = ++bundle_clock_;
                 obs::counter("svc.bundle.hits").add();
                 return b;
@@ -657,16 +701,18 @@ std::shared_ptr<Server::Bundle> Server::get_bundle(
     // racing on the same new model at worst build it twice.
     auto b = std::make_shared<Bundle>();
     b->hash = hash;
-    b->contract = contract;
+    b->reduce_spec = spec;
     b->model =
         std::make_shared<const stg::Stg>(stg::parse_astg_string(model_text));
-    if (contract && b->model->has_dummies()) {
-        auto result = stg::contract_dummies(*b->model);
-        b->dummies_contracted = result.contracted;
-        b->checked = std::make_shared<const stg::Stg>(std::move(result.stg));
+    if (reduce.enabled) {
+        auto red = stg::reduce::run_passes(b->model, reduce);
+        b->checked = std::move(red.stg);
+        b->reduction = std::move(red.summary);
+        b->chain = std::move(red.chain);
     } else {
         b->checked = b->model;
     }
+    b->semantic_key = stg::reduce::semantic_hash(*b->checked);
     b->artifacts = std::make_shared<const cache::PrefixArtifacts>(
         b->checked, unf::UnfoldOptions{});
     std::lock_guard<std::mutex> lock(bundles_mu_);
@@ -688,10 +734,11 @@ Server::Rendered Server::render(const Bundle& bundle,
                                 const core::VerificationReport& r) {
     Rendered out;
     out.report = core::format_report(*bundle.model, r);
-    const stg::Stg& checked = *bundle.checked;
+    // The deadlock trace (like every witness) was translated back to the
+    // original model before render, so the "via" line names its transitions.
     if (r.deadlock_checked && !r.deadlock_free)
         out.deadlock_via =
-            "deadlock via: " + checked.sequence_text(r.deadlock_trace);
+            "deadlock via: " + bundle.model->sequence_text(r.deadlock_trace);
     out.all_hold = check_all_hold(r);
     out.exit_code = r.consistent ? (out.all_hold ? 0 : 1) : 1;
     out.verdict = verdict_line(r);
@@ -715,6 +762,8 @@ Server::Rendered Server::render(const Bundle& bundle,
                           .set("conditions", r.prefix.conditions)
                           .set("events", r.prefix.events)
                           .set("cutoffs", r.prefix.cutoffs));
+    if (r.reduction.rounds > 0)
+        row.set("reduction", core::reduction_json(r.reduction));
     out.row = std::move(row);
     out.json = core::report_json(*bundle.model, r);
     out.json.set("jobs", r.jobs);

@@ -2,7 +2,7 @@
 //
 // A Server owns the long-lived state that per-process CLI runs pay for on
 // every invocation: one sched::Executor shared by all requests, an LRU of
-// prefix-artifact bundles (parse + contraction + unfolding, tier 1), an
+// prefix-artifact bundles (parse + reduction + unfolding, tier 1), an
 // in-memory map of rendered verdicts, and the on-disk result cache
 // (tier 3).  Connections arrive over Unix-domain or TCP listeners speaking
 // the length-prefixed JSON protocol of svc/frame.hpp + svc/protocol.hpp.
@@ -156,18 +156,21 @@ private:
         std::string error_code;
         std::string error_message;
         Rendered r;
-        const char* cache_tier = nullptr;  ///< "memory" / "disk" / nullptr
+        /// "memory" / "disk" / "semantic" / nullptr (a fresh solve).
+        const char* cache_tier = nullptr;
         std::uint64_t model_hash = 0;      ///< fnv1a64 of the model text
     };
 
-    /// Parse + contraction + unfolding of one model text, shared across
+    /// Parse + reduction + unfolding of one model text, shared across
     /// requests (tier-1 reuse across the wire).
     struct Bundle {
         std::uint64_t hash = 0;
-        bool contract = false;
+        std::string reduce_spec;                  ///< canonical pipeline spec
         std::shared_ptr<const stg::Stg> model;    ///< as parsed
-        std::shared_ptr<const stg::Stg> checked;  ///< == model unless contracted
-        std::size_t dummies_contracted = 0;
+        std::shared_ptr<const stg::Stg> checked;  ///< == model unless reduced
+        stg::reduce::Summary reduction;
+        stg::reduce::WitnessChain chain;          ///< checked -> model
+        std::uint64_t semantic_key = 0;  ///< canonical hash of `checked`
         cache::PrefixArtifactsPtr artifacts;
         std::uint64_t last_used = 0;
     };
@@ -192,7 +195,8 @@ private:
                                     const CheckOptions& copts,
                                     const sched::CancellationToken& deadline);
     [[nodiscard]] std::shared_ptr<Bundle> get_bundle(
-        const std::string& model_text, std::uint64_t hash, bool contract);
+        const std::string& model_text, std::uint64_t hash,
+        const stg::reduce::Options& reduce);
     [[nodiscard]] static Rendered render(const Bundle& bundle,
                                          const core::VerificationReport& report);
 

@@ -210,7 +210,7 @@ TEST_P(DifferentialCacheTest, ContractedVerdictsAgreeWithStateGraph) {
     const auto report = core::verify_stg(model, opts);
     ASSERT_TRUE(report.consistent) << "seed=" << seed;
     const stg::Stg& checked =
-        report.contracted_stg ? *report.contracted_stg : model;
+        report.reduced_stg ? *report.reduced_stg : model;
     EXPECT_FALSE(checked.has_dummies()) << "seed=" << seed;
     stg::StateGraph sg(checked);
     ASSERT_TRUE(sg.consistent()) << "seed=" << seed;

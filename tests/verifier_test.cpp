@@ -76,8 +76,8 @@ TEST(Verifier, ContractionOptionHandlesDummies) {
     opts.contract_dummies = true;
     auto report = verify_stg(model, opts);
     EXPECT_EQ(report.dummies_contracted, 1u);
-    ASSERT_TRUE(report.contracted_stg.has_value());
-    EXPECT_FALSE(report.contracted_stg->has_dummies());
+    ASSERT_TRUE(report.reduced_stg.has_value());
+    EXPECT_FALSE(report.reduced_stg->has_dummies());
     EXPECT_TRUE(report.consistent);
     const std::string text = format_report(model, report);
     EXPECT_NE(text.find("dummies contracted: 1"), std::string::npos);

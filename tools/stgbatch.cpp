@@ -58,7 +58,11 @@ void print_usage(std::ostream& out) {
            "  --jobs N         worker threads (default: hardware concurrency;\n"
            "                   1 = serial; verdicts are identical at any N)\n"
            "  --no-normalcy    skip the normalcy check\n"
-           "  --contract       securely contract dummy transitions first\n"
+           "  --reduce[=LIST]  verdict-preserving net reductions first\n"
+           "                   (docs/REDUCTIONS.md): all passes or a comma\n"
+           "                   list; witnesses stay on the original nets\n"
+           "  --no-reduce      disable reductions (the default)\n"
+           "  --contract       legacy alias for --reduce=contract\n"
            "  --deadlock       also run the deadlock check\n"
            "  --quiet          suppress per-model result lines\n"
            "  --json FILE      write the aggregate machine-readable report\n"
@@ -118,6 +122,8 @@ obs::Json report_row(const std::string& file, const std::string& name,
                           .set("conditions", r.prefix.conditions)
                           .set("events", r.prefix.events)
                           .set("cutoffs", r.prefix.cutoffs));
+    if (r.reduction.rounds > 0)
+        row.set("reduction", core::reduction_json(r.reduction));
     return row;
 }
 
@@ -142,6 +148,28 @@ struct ModelResult {
     std::uint64_t queue_delay_ns = 0;
     cache::ClauseStore::Efficacy cuts;
 };
+
+/// Reduction totals across the corpus, summed from the (cached or fresh)
+/// report rows so warm and cold runs aggregate identically.
+obs::Json reduction_summary(const std::vector<ModelResult>& results) {
+    std::size_t places = 0, transitions = 0, remaining = 0, reduced = 0;
+    for (const ModelResult& r : results) {
+        const obs::Json* red = r.row.find("reduction");
+        if (!red) continue;
+        ++reduced;
+        if (const obs::Json* v = red->find("places_removed"))
+            places += static_cast<std::size_t>(v->as_int());
+        if (const obs::Json* v = red->find("transitions_removed"))
+            transitions += static_cast<std::size_t>(v->as_int());
+        if (const obs::Json* v = red->find("remaining_dummies"))
+            remaining += v->size();
+    }
+    return obs::Json::object()
+        .set("models_reduced", reduced)
+        .set("places_removed", places)
+        .set("transitions_removed", transitions)
+        .set("remaining_dummies", remaining);
+}
 
 std::vector<std::string> collect_manifest(const std::string& arg,
                                           std::string& error) {
@@ -184,19 +212,14 @@ std::vector<std::string> collect_manifest(const std::string& arg,
 /// report is canonically identical to a local run (docs/SERVICE.md).
 int run_connected(const char* connect, const char* manifest,
                   const std::vector<std::string>& files, const char* json_path,
-                  bool normalcy, bool contract, bool deadlock, bool quiet,
-                  bool use_cache, std::uint64_t deadline_ms) {
+                  const svc::CheckOptions& copts, bool quiet,
+                  std::uint64_t deadline_ms) {
     svc::Client client;
     std::string error;
     if (!client.connect(connect, error)) {
         std::cerr << "error: " << error << "\n";
         return 2;
     }
-    svc::CheckOptions copts;
-    copts.normalcy = normalcy;
-    copts.contract = contract;
-    copts.deadlock = deadlock;
-    copts.use_cache = use_cache;
 
     if (!quiet)
         std::cout << "stgbatch: " << files.size() << " models, connect "
@@ -336,12 +359,16 @@ int run_connected(const char* connect, const char* manifest,
         body.set("manifest", manifest);
         body.set("jobs", 0);  // remote pool; volatile key, stripped anyway
         body.set("models", std::move(rows));
-        body.set("summary", obs::Json::object()
+        obs::Json summary = obs::Json::object()
                                 .set("total", results.size())
                                 .set("ok", ok)
                                 .set("violated", violated)
                                 .set("errors", errors)
-                                .set("seconds", total_seconds));
+                                .set("seconds", total_seconds);
+        obs::Json red = reduction_summary(results);
+        if (red.find("models_reduced")->as_int() > 0)
+            summary.set("reduction", std::move(red));
+        body.set("summary", std::move(summary));
         if (!obs::save_json(json_path,
                             obs::make_report("stgbatch", std::move(body)))) {
             std::cerr << "error: cannot write " << json_path << "\n";
@@ -364,7 +391,7 @@ int main(int argc, char** argv) {
     const char* json_path = nullptr;
     const char* trace_path = nullptr;
     bool normalcy = true;
-    bool contract = false;
+    std::string reduce_spec = "none";
     bool deadlock = false;
     bool quiet = false;
     bool use_cache = true;
@@ -376,7 +403,13 @@ int main(int argc, char** argv) {
         if (!std::strcmp(argv[i], "--no-normalcy"))
             normalcy = false;
         else if (!std::strcmp(argv[i], "--contract"))
-            contract = true;
+            reduce_spec = "contract";  // legacy alias for --reduce=contract
+        else if (!std::strcmp(argv[i], "--reduce"))
+            reduce_spec = "all";
+        else if (!std::strncmp(argv[i], "--reduce=", 9))
+            reduce_spec = argv[i] + 9;
+        else if (!std::strcmp(argv[i], "--no-reduce"))
+            reduce_spec = "none";
         else if (!std::strcmp(argv[i], "--deadlock"))
             deadlock = true;
         else if (!std::strcmp(argv[i], "--quiet"))
@@ -430,22 +463,33 @@ int main(int argc, char** argv) {
         std::cerr << "error: " << manifest_error << "\n";
         return 2;
     }
+    // One options signature shared with stgcheck and stgd: a verdict cached
+    // by any of them is warm for the others (docs/CACHING.md).
+    svc::CheckOptions copts;
+    copts.normalcy = normalcy;
+    copts.reduce = reduce_spec;
+    copts.deadlock = deadlock;
+    copts.use_cache = use_cache;
+    core::VerifyOptions vopts;
+    vopts.check_normalcy = normalcy;
+    try {
+        vopts.reduce = stg::reduce::Options::parse(reduce_spec);
+    } catch (const std::exception& ex) {
+        std::cerr << "bad --reduce value: " << ex.what() << "\n";
+        return 2;
+    }
+    vopts.check_deadlock = deadlock;
+    vopts.search.use_learned_clauses = use_cache;
+
     if (connect) {
         if (trace_path) {
             std::cerr << "error: --trace needs local spans and is not "
                          "supported with --connect\n";
             return 2;
         }
-        return run_connected(connect, manifest, files, json_path, normalcy,
-                             contract, deadlock, quiet, use_cache,
-                             deadline_ms);
+        return run_connected(connect, manifest, files, json_path, copts,
+                             quiet, deadline_ms);
     }
-
-    core::VerifyOptions vopts;
-    vopts.check_normalcy = normalcy;
-    vopts.contract_dummies = contract;
-    vopts.check_deadlock = deadlock;
-    vopts.search.use_learned_clauses = use_cache;
 
     // Tier-3 result cache; keyed by content hash + checker options (not
     // --jobs: verdicts are jobs-independent by the determinism contract).
@@ -457,10 +501,7 @@ int main(int argc, char** argv) {
             cache_root = env;
     }
     const cache::ResultCache rcache(cache_root);
-    const std::string options_sig =
-        std::string("stgbatch/1;normalcy=") + (normalcy ? "1" : "0") +
-        ";contract=" + (contract ? "1" : "0") + ";deadlock=" +
-        (deadlock ? "1" : "0");
+    const std::string options_sig = copts.signature();
 
     sched::Executor ex(jobs);
     if (!quiet)
@@ -598,12 +639,16 @@ int main(int argc, char** argv) {
         body.set("manifest", manifest);
         body.set("jobs", ex.jobs());
         body.set("models", std::move(rows));
-        body.set("summary", obs::Json::object()
+        obs::Json summary = obs::Json::object()
                                 .set("total", results.size())
                                 .set("ok", ok)
                                 .set("violated", violated)
                                 .set("errors", errors)
-                                .set("seconds", total_seconds));
+                                .set("seconds", total_seconds);
+        obs::Json red = reduction_summary(results);
+        if (red.find("models_reduced")->as_int() > 0)
+            summary.set("reduction", std::move(red));
+        body.set("summary", std::move(summary));
         obs::Json sched_stats = obs::Json::object();
         sched_stats.set("workers", ex.jobs());
         sched_stats.set("wall_ns",
